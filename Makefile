@@ -1,0 +1,27 @@
+# Convenience targets for the FRW-RR reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples experiments experiments-quick clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "=== $$f ==="; $(PYTHON) $$f || exit 1; done
+
+experiments:
+	$(PYTHON) -m repro.experiments.run_all
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments.run_all --quick
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks results
+	find . -name __pycache__ -type d -exec rm -rf {} +

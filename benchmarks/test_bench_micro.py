@@ -1,0 +1,117 @@
+"""Micro-benchmarks for the design choices Sec. III-C calls out.
+
+* counter-based RNG vs per-walk Mersenne-Twister reseeding (the ~2x claim),
+* Kahan vs naive accumulation,
+* spatial-index query strategies,
+* Gaussian-surface sampling and transition-table sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BruteForceIndex, GridIndex
+from repro.greens import get_cube_table
+from repro.numerics import KahanVector, NaiveVector
+from repro.rng import MTWalkStreams, WalkStreams
+
+
+N_WALKS = 2000
+
+
+def test_philox_per_walk_streams(benchmark):
+    ws = WalkStreams(seed=1)
+    uids = np.arange(N_WALKS, dtype=np.uint64)
+    benchmark(ws.draws, uids, 3, 3)
+
+
+def test_mt_per_walk_reseeding(benchmark):
+    """The cost Sec. III-C eliminates: a fresh 624-word MT state per walk."""
+    uids = np.arange(N_WALKS, dtype=np.uint64)
+
+    def run():
+        ws = MTWalkStreams(seed=1)  # fresh cache: every draw reseeds
+        return ws.draws(uids, 0, 3)
+
+    benchmark(run)
+
+
+def test_philox_bulk_generation(benchmark):
+    from repro.rng import philox4x32, words_to_unit_double
+
+    blocks = np.arange(100_000, dtype=np.uint64)
+
+    def run():
+        w = philox4x32(
+            (blocks & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+            np.uint32(0),
+            np.uint32(0),
+            np.uint32(1),
+            np.uint32(2),
+            np.uint32(3),
+        )
+        return words_to_unit_double(w[0], w[1])
+
+    out = benchmark(run)
+    assert out.shape == (100_000,)
+
+
+def test_kahan_vector_accumulate(benchmark):
+    acc = KahanVector(8)
+    terms = np.random.default_rng(0).standard_normal((1000, 8))
+
+    def run():
+        for t in terms:
+            acc.add(t)
+        return acc.value
+
+    benchmark(run)
+
+
+def test_naive_vector_accumulate(benchmark):
+    acc = NaiveVector(8)
+    terms = np.random.default_rng(0).standard_normal((1000, 8))
+
+    def run():
+        for t in terms:
+            acc.add(t)
+        return acc.value
+
+    benchmark(run)
+
+
+def test_brute_force_index_query(benchmark, case3_fast):
+    index = BruteForceIndex(case3_fast)
+    pts = np.random.default_rng(1).uniform(-20, 20, (4000, 3))
+    benchmark(index.query, pts)
+
+
+def test_grid_index_query(benchmark, case3_fast):
+    index = GridIndex(case3_fast, h_cap=4.0)
+    pts = np.random.default_rng(1).uniform(-20, 20, (4000, 3))
+    index.query(pts)  # warm the candidate cache
+    benchmark(index.query, pts)
+
+
+def test_surface_sampling(benchmark, ctx_case1):
+    u = np.random.default_rng(2).random((10_000, 3))
+    benchmark(ctx_case1.surface.sample, u)
+
+
+def test_cube_table_sampling(benchmark):
+    table = get_cube_table(32)
+    rng = np.random.default_rng(3)
+    u = rng.random(10_000)
+    ja = rng.random(10_000)
+    jb = rng.random(10_000)
+
+    def run():
+        cells = table.sample_cells(u)
+        return table.unit_positions(cells, ja, jb)
+
+    benchmark(run)
+
+
+def test_cube_table_construction(benchmark):
+    from repro.greens.cube_table import _build
+
+    benchmark(_build, 16, 48)

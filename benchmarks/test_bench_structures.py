@@ -1,0 +1,45 @@
+"""Table I benchmarks: structure generation, validation, surface building.
+
+These time the substrate work behind the Table I inventory: deterministic
+case generation (including the 48k-conductor paper-profile case 6),
+grid-accelerated validation, and Gaussian-surface construction.
+"""
+
+import pytest
+
+from repro import FRWConfig
+from repro.frw import build_context
+from repro.geometry import build_gaussian_surface
+from repro.structures import build_case, large_grid, sram_like
+
+
+def test_generate_case3_paper(benchmark):
+    structure = benchmark(build_case, 3, "paper")
+    assert len(structure.conductors) == 39
+
+
+def test_generate_case5_paper(benchmark):
+    structure = benchmark(build_case, 5, "paper")
+    assert len(structure.conductors) == 656
+
+
+def test_generate_large_grid_4k(benchmark):
+    structure = benchmark(large_grid, 64, 64)
+    assert structure.n_boxes == 64 * 64 + 1
+
+
+def test_validate_sram(benchmark):
+    structure = sram_like(rows=3, cols=30)
+    benchmark(structure.validate, 0.02)
+
+
+def test_gaussian_surface_multibox(benchmark, case3_fast):
+    # Ring conductors have 4 overlapping boxes each — the rectilinear
+    # boolean path.
+    surf = benchmark(build_gaussian_surface, case3_fast, 0)
+    assert surf.n_patches >= 6
+
+
+def test_build_context_case1(benchmark, case1):
+    ctx = benchmark(build_context, case1, 0, FRWConfig.frw_r(seed=1))
+    assert ctx.surface.total_area > 0

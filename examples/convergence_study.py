@@ -1,0 +1,36 @@
+"""Convergence study: the 1/sqrt(M) law and tolerance planning.
+
+Traces the self-capacitance estimate and its relative standard error as the
+walk count grows, fits the error-decay exponent (should be ~ -1/2, the
+paper's Sec. II-B convergence guarantee), and extrapolates the walks needed
+for a target tolerance.
+
+Run:  python examples/convergence_study.py
+"""
+
+from repro import FRWConfig
+from repro.analysis import trace_convergence, walks_for_tolerance
+from repro.frw import build_context
+from repro.structures import build_case
+
+
+def main() -> None:
+    structure = build_case(1, "fast")
+    ctx = build_context(structure, 0, FRWConfig.frw_r(seed=17))
+    print(f"tracing convergence of C11 for {structure.names[0]} ...\n")
+    trace = trace_convergence(ctx, total_walks=80_000, checkpoints=16)
+
+    print(f"{'walks':>8} {'C11 (fF)':>12} {'rel. std. err.':>15}")
+    for m, c, e in zip(trace.walks, trace.estimate, trace.rel_error):
+        bar = "#" * int(min(40, 400 * e))
+        print(f"{m:>8} {c:>12.5f} {e:>14.2%}  {bar}")
+
+    slope = trace.error_decay_exponent()
+    print(f"\nfitted error decay: error ~ M^{slope:.2f}   (theory: M^-0.50)")
+    for tol in (1e-2, 1e-3):
+        need = walks_for_tolerance(trace, tol)
+        print(f"walks needed for {tol:.0%} self-cap error: ~{need:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Render example floating-random-walk paths (the paper's Fig. 2).
+
+Traces a handful of walks from the Gaussian surface of a master conductor
+to their absorbing conductors and writes an SVG cross-section.
+
+Run:  python examples/fig2_walk_paths.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments import fig2_walks
+
+
+def main() -> None:
+    record = fig2_walks.run(case=1, n_walks=8, seed=12)
+    print(
+        format_table(
+            record.headers, record.rows, title="Example walks (case 1, master w1)"
+        )
+    )
+    for note in record.notes:
+        print(note)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Result containers and analysis helpers: capacitance matrices, table
+rendering, convergence diagnostics, and SPICE netlist export."""
+
+from .capmatrix import CapacitanceMatrix
+from .convergence import ConvergenceTrace, trace_convergence, walks_for_tolerance
+from .spice import to_spice_subckt, write_spice
+from .tables import format_scientific, format_seconds, format_table
+
+__all__ = [
+    "CapacitanceMatrix",
+    "ConvergenceTrace",
+    "format_scientific",
+    "format_seconds",
+    "format_table",
+    "to_spice_subckt",
+    "trace_convergence",
+    "walks_for_tolerance",
+    "write_spice",
+]

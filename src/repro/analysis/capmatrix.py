@@ -1,0 +1,138 @@
+"""Capacitance matrix container with metadata and (de)serialisation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass
+class CapacitanceMatrix:
+    """An ``Nm x N`` block of the Maxwell capacitance matrix (fF).
+
+    Row ``r`` corresponds to master conductor ``masters[r]``; columns run
+    over all ``N`` conductors (enclosure last).  ``sigma2`` carries the
+    Eq. (9) variance of each entry (zero/inf where unavailable) and ``hits``
+    the number of absorbed walks per entry.
+    """
+
+    values: np.ndarray
+    masters: list[int]
+    names: list[str]
+    sigma2: np.ndarray | None = None
+    hits: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape[0] != len(self.masters):
+            raise ValueError(
+                f"values has {self.values.shape[0]} rows for "
+                f"{len(self.masters)} masters"
+            )
+        if self.values.shape[1] != len(self.names):
+            raise ValueError(
+                f"values has {self.values.shape[1]} columns for "
+                f"{len(self.names)} conductor names"
+            )
+
+    @property
+    def n_masters(self) -> int:
+        """Number of extracted rows Nm."""
+        return self.values.shape[0]
+
+    @property
+    def n_conductors(self) -> int:
+        """Total conductor count N."""
+        return self.values.shape[1]
+
+    @property
+    def master_block(self) -> np.ndarray:
+        """The ``Nm x Nm`` sub-matrix between master conductors.
+
+        Valid when the masters are conductors ``0..Nm-1`` (the library's
+        convention); used by the symmetry metrics.
+        """
+        return self.values[:, self.masters]
+
+    def row_for(self, master: int) -> np.ndarray:
+        """Row of a given master conductor index."""
+        return self.values[self.masters.index(master)]
+
+    def entry(self, i_name: str, j_name: str) -> float:
+        """Capacitance between two conductors by name (row must be a master)."""
+        i = self.names.index(i_name)
+        j = self.names.index(j_name)
+        return float(self.values[self.masters.index(i), j])
+
+    def copy(self) -> "CapacitanceMatrix":
+        """Deep copy."""
+        return CapacitanceMatrix(
+            values=self.values.copy(),
+            masters=list(self.masters),
+            names=list(self.names),
+            sigma2=None if self.sigma2 is None else self.sigma2.copy(),
+            hits=None if self.hits is None else self.hits.copy(),
+            meta=dict(self.meta),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "values": self.values.tolist(),
+            "masters": list(self.masters),
+            "names": list(self.names),
+            "sigma2": None if self.sigma2 is None else self.sigma2.tolist(),
+            "hits": None if self.hits is None else self.hits.tolist(),
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapacitanceMatrix":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            values=np.asarray(data["values"], dtype=np.float64),
+            masters=list(data["masters"]),
+            names=list(data["names"]),
+            sigma2=(
+                None
+                if data.get("sigma2") is None
+                else np.asarray(data["sigma2"], dtype=np.float64)
+            ),
+            hits=(
+                None
+                if data.get("hits") is None
+                else np.asarray(data["hits"], dtype=np.int64)
+            ),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CapacitanceMatrix":
+        """Read from JSON."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def pretty(self, max_cols: int = 8, precision: int = 4) -> str:
+        """Small human-readable table (truncated for wide matrices)."""
+        cols = min(self.n_conductors, max_cols)
+        lines = []
+        header = " " * 12 + " ".join(
+            f"{self.names[j][:10]:>12}" for j in range(cols)
+        )
+        lines.append(header)
+        for r, master in enumerate(self.masters):
+            row = " ".join(
+                f"{self.values[r, j]:12.{precision}f}" for j in range(cols)
+            )
+            lines.append(f"{self.names[master][:10]:>10}: {row}")
+        if cols < self.n_conductors:
+            lines.append(f"... ({self.n_conductors - cols} more columns)")
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (markdown-pipe compatible)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(cells[0]))
+    lines.append(sep)
+    lines.extend(render(r) for r in cells[1:])
+    return "\n".join(lines)
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly duration."""
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if value < 100.0:
+        return f"{value:.2f}s"
+    return f"{value:.0f}s"
+
+
+def format_scientific(value: float) -> str:
+    """Short scientific / percentage hybrid used in Table III."""
+    if value == 0.0:
+        return "0"
+    if value >= 1e-3:
+        return f"{value * 100:.2f}%"
+    return f"{value:.0e}"

@@ -1,0 +1,143 @@
+"""Command-line interface: ``frw-rr`` / ``python -m repro``.
+
+Subcommands
+-----------
+``extract``
+    Extract a test case (or nothing fancier — library use covers custom
+    geometry) and print/save the capacitance matrix.
+``experiment``
+    Run one of the paper-reproduction experiment harnesses.
+``info``
+    Show the case registry and version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .analysis.tables import format_table
+from .config import FRWConfig, VARIANTS
+from .frw import FRWSolver
+from .reliability import check_properties
+from .structures import CASES, build_case, case_masters
+
+
+def _add_extract_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("extract", help="extract a built-in test case")
+    p.add_argument("--case", type=int, default=1, choices=sorted(CASES))
+    p.add_argument("--profile", default="fast", choices=["fast", "paper"])
+    p.add_argument("--variant", default="frw-rr", choices=list(VARIANTS))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--tolerance", type=float, default=None)
+    p.add_argument("--batch-size", type=int, default=10_000)
+    p.add_argument("--max-masters", type=int, default=None)
+    p.add_argument("--output", default=None, help="write the matrix as JSON")
+
+
+def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("experiment", help="run a paper-reproduction experiment")
+    p.add_argument(
+        "name",
+        choices=["table1", "table2", "fig5", "table3", "fig2", "all"],
+    )
+    p.add_argument("--case", type=int, default=1, choices=sorted(CASES))
+    p.add_argument("--profile", default="fast", choices=["fast", "paper"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="frw-rr",
+        description="FRW-RR: reproducible and reliable FRW capacitance extraction",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_extract_parser(sub)
+    _add_experiment_parser(sub)
+    sub.add_parser("info", help="list the built-in test cases")
+    return parser
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    structure = build_case(args.case, args.profile)
+    masters = case_masters(structure)
+    if args.max_masters is not None:
+        masters = masters[: args.max_masters]
+    tolerance = (
+        args.tolerance if args.tolerance is not None else CASES[args.case].tolerance
+    )
+    factory = {
+        "alg1": FRWConfig.alg1,
+        "frw-nk": FRWConfig.frw_nk,
+        "frw-nc": FRWConfig.frw_nc,
+        "frw-r": FRWConfig.frw_r,
+        "frw-rr": FRWConfig.frw_rr,
+    }[args.variant]
+    config = factory(
+        seed=args.seed,
+        n_threads=args.threads,
+        tolerance=tolerance,
+        batch_size=args.batch_size,
+    )
+    print(structure.summary())
+    print(f"extracting {len(masters)} master(s) with {args.variant} ...")
+    result = FRWSolver(structure, config).extract(masters)
+    print(result.matrix.pretty())
+    print(
+        f"walks={result.total_walks} wall={result.wall_time:.2f}s "
+        f"t_post={result.regularization_time * 1e3:.1f}ms "
+        f"converged={result.converged}"
+    )
+    print(f"properties: {check_properties(result.matrix)}")
+    if args.output:
+        result.matrix.save(args.output)
+        print(f"matrix written to {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        module = EXPERIMENTS[name]
+        if name in ("table2", "fig5"):
+            module.main(case=args.case, profile=args.profile)
+        elif name == "fig2":
+            module.main(case=args.case)
+        else:
+            module.main(profile=args.profile)
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    rows = [
+        [n, s.paper_nm, s.paper_n, s.paper_nc, s.tolerance, s.description]
+        for n, s in sorted(CASES.items())
+    ]
+    print(
+        format_table(
+            ["Case", "Nm", "N", "Nc", "tol", "Description"],
+            rows,
+            title=f"FRW-RR {__version__} — built-in test cases (paper profile)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "extract": cmd_extract,
+        "experiment": cmd_experiment,
+        "info": cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

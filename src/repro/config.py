@@ -1,0 +1,186 @@
+"""Solver configuration dataclasses.
+
+One :class:`FRWConfig` drives all solver variants; the named constructors
+mirror the paper's experiment matrix (Sec. V):
+
+* ``alg1``   — the baseline parallel scheme of [1] (Alg. 1): per-thread
+  private streams, per-thread convergence at ``eps * sqrt(T)``, naive
+  summation.  Reproducible only at fixed DOP.
+* ``frw_nk`` — the reproducible scheme (Alg. 2) *without* Kahan summation.
+* ``frw_nc`` — Alg. 2 with Mersenne-Twister per-walk reseeding instead of
+  the counter-based RNG.
+* ``frw_r``  — Alg. 2 with all Sec. III-C optimisations (the paper's FRW-R).
+* ``frw_rr`` — FRW-R plus the reliability regularization (Alg. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+VARIANTS = ("alg1", "frw-nk", "frw-nc", "frw-r", "frw-rr")
+RNG_KINDS = ("philox", "mt")
+SUMMATION_KINDS = ("kahan", "naive")
+
+
+@dataclass(frozen=True)
+class FRWConfig:
+    """Configuration of an FRW extraction.
+
+    Parameters mirror Alg. 1/2 inputs plus engine knobs.
+
+    Attributes
+    ----------
+    seed:
+        Global seed ``s``.
+    n_threads:
+        Degree of parallelism ``T`` (virtual threads of the reproducible
+        scheme; also used by the real executors).
+    batch_size:
+        Walks per batch ``B`` between global checkpoints (paper uses 10000).
+    tolerance:
+        Relative standard error target on the self-capacitance (paper: 1e-3
+        for cases 1-2, 1e-2 otherwise).
+    max_walks:
+        Hard cap on walks per master conductor.
+    min_walks:
+        Walks required before the stopping rule may fire.
+    variant:
+        One of :data:`VARIANTS`.
+    rng:
+        ``"philox"`` (CBRNG) or ``"mt"`` (per-walk-reseeded Mersenne
+        Twister, the FRW-NC ablation).
+    summation:
+        ``"kahan"`` or ``"naive"`` per-thread accumulators.
+    table_resolution:
+        Cells per cube-face edge of the transition table.
+    offset_fraction:
+        Gaussian surface offset as a fraction of conductor clearance.
+    h_cap_fraction:
+        Transition-cube half-size cap as a fraction of the enclosure's
+        smallest edge.
+    absorption_fraction:
+        Absorption tolerance as a fraction of the master's Gaussian offset.
+    interface_snap_fraction:
+        Walks closer to a dielectric interface than this fraction of their
+        free space snap onto it and take the two-medium sphere step.
+    first_hop_interface_floor:
+        Lower bound on the first transition cube, as a fraction of the
+        conductor-limited size, applied when a launch point sits very close
+        to a dielectric interface (its cube then crosses the interface
+        slightly).  Bounds the flux-weight variance at the cost of a small,
+        documented bias; production solvers use multi-dielectric transition
+        tables here instead.
+    max_steps:
+        Step cap per walk (safety; survivors absorb to the enclosure and are
+        counted as truncated).
+    check_every:
+        Alg. 1 only: walks between per-thread convergence checks.
+    scheduler_jitter:
+        Relative timing noise of the simulated machine (0 disables).
+    machine_seed:
+        Seed of the simulated machine's timing noise (distinct values model
+        distinct machines/OS schedules; never affects walk samples).
+    deterministic_merge:
+        Extension (not in the paper): accumulate each batch in walk-ID order
+        regardless of the schedule, guaranteeing bitwise-identical results
+        (RI = 17) for any DOP.
+    """
+
+    seed: int = 0
+    n_threads: int = 1
+    batch_size: int = 10_000
+    tolerance: float = 1e-2
+    max_walks: int = 20_000_000
+    min_walks: int = 1_000
+    variant: str = "frw-r"
+    rng: str = "philox"
+    summation: str = "kahan"
+    table_resolution: int = 32
+    offset_fraction: float = 0.5
+    h_cap_fraction: float = 0.25
+    absorption_fraction: float = 2e-3
+    interface_snap_fraction: float = 0.05
+    first_hop_interface_floor: float = 0.02
+    max_steps: int = 10_000
+    check_every: int = 1_000
+    scheduler_jitter: float = 0.05
+    machine_seed: int = 0
+    deterministic_merge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ConfigError(f"variant must be one of {VARIANTS}, got {self.variant!r}")
+        if self.rng not in RNG_KINDS:
+            raise ConfigError(f"rng must be one of {RNG_KINDS}, got {self.rng!r}")
+        if self.summation not in SUMMATION_KINDS:
+            raise ConfigError(
+                f"summation must be one of {SUMMATION_KINDS}, got {self.summation!r}"
+            )
+        if self.n_threads < 1:
+            raise ConfigError(f"n_threads must be >= 1, got {self.n_threads}")
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not (0 < self.tolerance < 1):
+            raise ConfigError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        if self.min_walks < 2:
+            raise ConfigError(f"min_walks must be >= 2, got {self.min_walks}")
+        if self.max_walks < self.min_walks:
+            raise ConfigError("max_walks must be >= min_walks")
+        if not (0.0 < self.interface_snap_fraction <= 0.25):
+            # Snapping displaces the walk onto the interface; the induced
+            # bias is first-order in the displacement, so the threshold must
+            # stay a small fraction of the local free space.
+            raise ConfigError(
+                "interface_snap_fraction must be in (0, 0.25], got "
+                f"{self.interface_snap_fraction}"
+            )
+        if not (0.0 < self.absorption_fraction < 0.5):
+            raise ConfigError(
+                f"absorption_fraction must be in (0, 0.5), got "
+                f"{self.absorption_fraction}"
+            )
+        if not (0.0 <= self.first_hop_interface_floor <= 0.1):
+            raise ConfigError(
+                "first_hop_interface_floor must be in [0, 0.1], got "
+                f"{self.first_hop_interface_floor}"
+            )
+
+    # ------------------------------------------------------------------
+    # Named variant constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def alg1(cls, **kwargs) -> "FRWConfig":
+        """Baseline Alg. 1 of [1]: naive summation, isolated convergence."""
+        kwargs.setdefault("summation", "naive")
+        return cls(variant="alg1", **kwargs)
+
+    @classmethod
+    def frw_nk(cls, **kwargs) -> "FRWConfig":
+        """FRW-R without Kahan summation."""
+        return cls(variant="frw-nk", summation="naive", **kwargs)
+
+    @classmethod
+    def frw_nc(cls, **kwargs) -> "FRWConfig":
+        """FRW-R with Mersenne Twister per-walk reseeding."""
+        return cls(variant="frw-nc", rng="mt", **kwargs)
+
+    @classmethod
+    def frw_r(cls, **kwargs) -> "FRWConfig":
+        """The reproducible solver with all optimisations."""
+        return cls(variant="frw-r", **kwargs)
+
+    @classmethod
+    def frw_rr(cls, **kwargs) -> "FRWConfig":
+        """FRW-R plus the reliability regularization (Alg. 3)."""
+        return cls(variant="frw-rr", **kwargs)
+
+    def with_(self, **kwargs) -> "FRWConfig":
+        """Return a copy with fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def uses_regularization(self) -> bool:
+        """Whether the reliability post-process runs after extraction."""
+        return self.variant == "frw-rr"

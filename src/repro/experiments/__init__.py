@@ -1,0 +1,47 @@
+"""Experiment harnesses — one per paper table/figure.
+
+============  ==============================================
+``table1``    Table I: test-case inventory
+``table2``    Table II: reproducibility indices (RI)
+``fig5``      Fig. 5: runtime vs threads + load balancing
+``table3``    Table III: Err2/Err3/Err_cap and runtimes
+``fig2``      Fig. 2: example walk-path rendering
+============  ==============================================
+
+Each module exposes ``run(...) -> ExperimentRecord`` (programmatic) and
+``main()`` (prints the table and saves JSON under ``results/``).
+"""
+
+from . import (
+    ablations,
+    fig2_walks,
+    fig5_scaling,
+    report,
+    table1,
+    table2_repro,
+    table3_reliability,
+)
+from .common import RESULTS_DIR, ExperimentRecord, Stopwatch, environment_info
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2_repro,
+    "fig5": fig5_scaling,
+    "table3": table3_reliability,
+    "fig2": fig2_walks,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablations",
+    "report",
+    "RESULTS_DIR",
+    "ExperimentRecord",
+    "Stopwatch",
+    "environment_info",
+    "fig2_walks",
+    "fig5_scaling",
+    "table1",
+    "table2_repro",
+    "table3_reliability",
+]

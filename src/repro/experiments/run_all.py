@@ -1,0 +1,103 @@
+"""Run every paper-reproduction experiment and regenerate EXPERIMENTS.md.
+
+This is the "make reproduce" entry point.  Budgets are chosen so the whole
+sweep finishes in tens of minutes on one core; every knob can be overridden
+when calling the individual harnesses directly.
+
+Usage:  python -m repro.experiments.run_all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..analysis.tables import format_table
+from . import fig2_walks, fig5_scaling, table1, table2_repro, table3_reliability
+from .common import RESULTS_DIR, ExperimentRecord
+
+
+def run_quick() -> list[ExperimentRecord]:
+    """Reduced budgets: a few minutes end to end."""
+    records = []
+    records.append(table1.run(profile="fast"))
+    records.append(
+        table2_repro.run(case=1, runs_per_machine=2, tolerance=3e-2, batch_size=1500)
+    )
+    records.append(
+        fig5_scaling.run(
+            case=1, thread_counts=(1, 2, 4, 8, 16), tolerance=3e-2,
+            batch_size=3000, masters=[0],
+        )
+    )
+    records.append(
+        table3_reliability.run(
+            cases=[1], tolerance=3e-2, batch_size=3000, reference="frw"
+        )
+    )
+    records.append(fig2_walks.run(case=1))
+    return records
+
+
+def run_full() -> list[ExperimentRecord]:
+    """Publication budgets for this reproduction (tens of minutes)."""
+    records = []
+    records.append(table1.run(profile="fast"))
+    records.append(
+        table2_repro.run(
+            case=1, runs_per_machine=2, tolerance=2e-2, batch_size=3000
+        )
+    )
+    records.append(
+        table2_repro.run(
+            case=3, runs_per_machine=2, tolerance=5e-2, batch_size=2000,
+            masters=[0, 1],
+        )
+    )
+    records.append(
+        fig5_scaling.run(
+            case=1, thread_counts=(1, 2, 4, 8, 16, 32), tolerance=3e-2,
+            batch_size=3000, masters=[0],
+        )
+    )
+    records.append(
+        table3_reliability.run(
+            cases=[1, 3], tolerance=2.5e-2, batch_size=3000, reference="frw",
+            max_masters=6,
+        )
+    )
+    records.append(
+        table3_reliability.run(
+            cases=[1], tolerance=2.5e-2, batch_size=3000, reference="fdm",
+            fdm_resolution=49,
+        )
+    )
+    records.append(fig2_walks.run(case=1))
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced budgets")
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    records = run_quick() if args.quick else run_full()
+    for record in records:
+        path = record.save()
+        print(f"\n=== {record.experiment} ({record.elapsed_seconds:.0f}s) ===")
+        print(format_table(record.headers, record.rows))
+        for note in record.notes:
+            print(f"note: {note}")
+        print(f"saved: {path}")
+    from .report import write_experiments_md
+
+    report_path = write_experiments_md()
+    print(f"\nall experiments done in {time.time() - t0:.0f}s; "
+          f"records in {RESULTS_DIR}/, report in {report_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Finite-difference reference field solver (the "commercial tool" stand-in
+for Err_cap in Table III)."""
+
+from .extractor import FDMExtractor, FDMSolution
+from .grid import FDMGrid, build_grid
+from .solve import conjugate_gradient, solve_sparse
+
+__all__ = [
+    "FDMExtractor",
+    "FDMGrid",
+    "FDMSolution",
+    "build_grid",
+    "conjugate_gradient",
+    "solve_sparse",
+]

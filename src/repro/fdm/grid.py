@@ -1,0 +1,107 @@
+"""Uniform grid and conductor rasterisation for the FDM reference solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..geometry import Structure
+
+
+@dataclass
+class FDMGrid:
+    """A uniform node-centred grid over the enclosure.
+
+    Nodes span the enclosure inclusively; boundary nodes belong to the
+    enclosure conductor (Dirichlet).  ``owner`` maps each node to a
+    conductor index (enclosure = ``structure.enclosure_index``) or -1 for
+    free (dielectric) nodes.
+    """
+
+    shape: tuple[int, int, int]
+    spacing: tuple[float, float, float]
+    origin: tuple[float, float, float]
+    owner: np.ndarray  # (nx, ny, nz) int64
+    eps_node: np.ndarray  # (nz,) relative permittivity per z-plane
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    def axis_coords(self, axis: int) -> np.ndarray:
+        """Node coordinates along one axis."""
+        return self.origin[axis] + self.spacing[axis] * np.arange(self.shape[axis])
+
+
+def build_grid(structure: Structure, resolution: int | tuple[int, int, int]) -> FDMGrid:
+    """Rasterise a structure onto a uniform grid.
+
+    ``resolution`` is the node count per axis (scalar or per-axis).  Nodes
+    on or inside a conductor box (closed) take that conductor's index; if
+    two conductors claim a node (only possible for touching boxes, which
+    validation forbids) the lower index wins.
+    """
+    if isinstance(resolution, int):
+        resolution = (resolution, resolution, resolution)
+    if min(resolution) < 4:
+        raise ConfigError(f"FDM resolution too small: {resolution}")
+    enc = structure.enclosure
+    shape = tuple(int(r) for r in resolution)
+    spacing = tuple(
+        (enc.hi[a] - enc.lo[a]) / (shape[a] - 1) for a in range(3)
+    )
+    origin = tuple(enc.lo)
+
+    owner = np.full(shape, -1, dtype=np.int64)
+    coords = [origin[a] + spacing[a] * np.arange(shape[a]) for a in range(3)]
+
+    lo, hi, box_owner = structure.box_arrays
+    # Rasterise boxes (later boxes do not overwrite earlier conductors).
+    for b in range(lo.shape[0]):
+        idx = []
+        for a in range(3):
+            inside = np.nonzero(
+                (coords[a] >= lo[b, a] - 1e-12) & (coords[a] <= hi[b, a] + 1e-12)
+            )[0]
+            idx.append(inside)
+        if any(i.size == 0 for i in idx):
+            continue
+        region = owner[np.ix_(idx[0], idx[1], idx[2])]
+        region[region == -1] = box_owner[b]
+        owner[np.ix_(idx[0], idx[1], idx[2])] = region
+
+    # Every conductor must have been resolved by at least one node; a
+    # silently-vanished conductor would yield zero capacitance rows.
+    resolved = set(np.unique(owner).tolist())
+    missing = [
+        structure.conductors[i].name
+        for i in range(len(structure.conductors))
+        if i not in resolved
+    ]
+    if missing:
+        raise ConfigError(
+            f"FDM grid {shape} does not resolve conductor(s) {missing}; "
+            "increase the resolution"
+        )
+
+    # Boundary nodes: the enclosure conductor.
+    env = structure.enclosure_index
+    owner[0, :, :] = env
+    owner[-1, :, :] = env
+    owner[:, 0, :] = env
+    owner[:, -1, :] = env
+    owner[:, :, 0] = env
+    owner[:, :, -1] = env
+
+    eps_node = structure.dielectric.eps_at(coords[2])
+    return FDMGrid(
+        shape=shape,
+        spacing=spacing,
+        origin=origin,
+        owner=owner,
+        eps_node=np.asarray(eps_node, dtype=np.float64),
+    )

@@ -1,0 +1,55 @@
+"""The floating-random-walk core: walk engine, estimators, the Alg. 1
+baseline and Alg. 2 reproducible schemes, schedulers, and the solver
+facade."""
+
+from .alg1_baseline import extract_row_alg1
+from .alg2_reproducible import (
+    RunStats,
+    extract_row_alg2,
+    extract_row_alg2_from_structure,
+    machine_rng,
+    make_streams,
+)
+from .context import ExtractionContext, build_context
+from .engine import WalkResults, run_walks
+from .estimator import CapacitanceRow, RowAccumulator
+from .multilevel import GroupPlan, multilevel_extract, plan_groups
+from .parallel import run_walks_parallel, run_walks_processes
+from .scheduler import (
+    ScheduleResult,
+    jittered_durations,
+    simulate_dynamic_queue,
+    simulate_static_blocks,
+)
+from .solver import ExtractionResult, FRWSolver, extract
+from .walk import WalkTrace, run_single_walk, trace_walks
+
+__all__ = [
+    "CapacitanceRow",
+    "ExtractionContext",
+    "ExtractionResult",
+    "FRWSolver",
+    "GroupPlan",
+    "RowAccumulator",
+    "RunStats",
+    "ScheduleResult",
+    "WalkResults",
+    "WalkTrace",
+    "build_context",
+    "extract",
+    "extract_row_alg1",
+    "extract_row_alg2",
+    "extract_row_alg2_from_structure",
+    "jittered_durations",
+    "machine_rng",
+    "make_streams",
+    "multilevel_extract",
+    "plan_groups",
+    "run_single_walk",
+    "run_walks",
+    "run_walks_parallel",
+    "run_walks_processes",
+    "simulate_dynamic_queue",
+    "simulate_static_blocks",
+    "trace_walks",
+]

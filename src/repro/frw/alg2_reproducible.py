@@ -1,0 +1,140 @@
+"""Alg. 2 — the parallel FRW scheme with DOP-independent reproducibility.
+
+Walks are issued in globally numbered batches of ``B``; each walk's random
+stream is a pure function of its ID (fine-grained reseeding, realised here
+with counter-based streams so reseeding is free); batches are dynamically
+scheduled over ``T`` threads with per-thread accumulators merged at a global
+checkpoint where the stopping criterion is evaluated.  Because the *set* of
+executed walks at every checkpoint is `{0 .. uB-1}` regardless of ``T``, the
+result differs across DOPs only through floating-point summation order —
+which Kahan accumulation compresses to the last one or two digits.
+
+The vectorised engine computes all walk outcomes of a batch at once (this
+is exact: outcomes are schedule-independent by construction), then the
+virtual-thread simulation replays the dynamic-queue accumulation order so
+the floating-point behaviour matches a real ``T``-thread execution,
+including merge order and machine timing noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import FRWConfig
+from ..rng import MTWalkStreams, WalkStreams, splitmix64
+from .context import ExtractionContext, build_context
+from .engine import run_walks
+from .estimator import CapacitanceRow, RowAccumulator
+from .scheduler import jittered_durations, simulate_dynamic_queue
+
+
+@dataclass
+class RunStats:
+    """Bookkeeping of one row extraction (for Table III / Fig. 5)."""
+
+    walks: int = 0
+    batches: int = 0
+    total_steps: int = 0
+    truncated: int = 0
+    wall_time: float = 0.0
+    converged: bool = False
+    #: Accumulated per-thread work (jittered step counts) across batches.
+    thread_work: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    #: Accumulated batch makespans (modeled parallel time units).
+    makespan: float = 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Load-balance efficiency of the simulated schedule."""
+        if self.makespan == 0.0:
+            return 1.0
+        return float(self.thread_work.sum()) / (
+            self.thread_work.shape[0] * self.makespan
+        )
+
+
+def make_streams(config: FRWConfig, master: int):
+    """Per-walk stream provider for the configured RNG kind.
+
+    Each master conductor gets an independent stream family (domain
+    separation), so multi-level parallelism cannot collide streams.
+    """
+    if config.rng == "mt":
+        return MTWalkStreams(config.seed, stream=master)
+    return WalkStreams(config.seed, stream=master)
+
+
+def machine_rng(config: FRWConfig, master: int) -> np.random.Generator:
+    """The simulated machine's timing-noise RNG (never affects samples)."""
+    return np.random.default_rng(
+        splitmix64(config.machine_seed * 0x10001 + master + 1)
+    )
+
+
+def extract_row_alg2(
+    ctx: ExtractionContext,
+    config: FRWConfig | None = None,
+) -> tuple[CapacitanceRow, RunStats]:
+    """Extract one capacitance-matrix row with the reproducible scheme."""
+    cfg = config if config is not None else ctx.config
+    n = ctx.n_conductors
+    streams = make_streams(cfg, ctx.master)
+    rng_machine = machine_rng(cfg, ctx.master)
+    global_acc = RowAccumulator(n, ctx.master, summation=cfg.summation)
+    stats = RunStats(thread_work=np.zeros(cfg.n_threads))
+    t_start = time.perf_counter()
+
+    batch_index = 0
+    while True:
+        uids = np.arange(
+            batch_index * cfg.batch_size,
+            (batch_index + 1) * cfg.batch_size,
+            dtype=np.uint64,
+        )
+        results = run_walks(ctx, streams, uids)
+        durations = jittered_durations(
+            results.steps, rng_machine, cfg.scheduler_jitter
+        )
+        schedule = simulate_dynamic_queue(durations, cfg.n_threads)
+        if cfg.deterministic_merge:
+            # Extension: accumulate in walk-ID order for guaranteed bitwise
+            # reproducibility; the schedule still feeds the Fig. 5 model.
+            global_acc.add_batch(results.omega, results.dest, results.steps)
+        else:
+            for thread_order in schedule.thread_order:
+                local = global_acc.spawn()
+                for w in thread_order:
+                    local.add_walk(
+                        float(results.omega[w]),
+                        int(results.dest[w]),
+                        int(results.steps[w]),
+                    )
+                global_acc.merge(local)
+        stats.thread_work += schedule.thread_work
+        stats.makespan += schedule.makespan
+        stats.truncated += results.truncated
+        stats.batches += 1
+        batch_index += 1
+
+        # The global checkpoint (Alg. 2 line 11).
+        walks = global_acc.walks
+        if walks >= cfg.min_walks and global_acc.self_relative_error < cfg.tolerance:
+            stats.converged = True
+            break
+        if walks >= cfg.max_walks:
+            break
+
+    stats.walks = global_acc.walks
+    stats.total_steps = global_acc.total_steps
+    stats.wall_time = time.perf_counter() - t_start
+    return global_acc.row(), stats
+
+
+def extract_row_alg2_from_structure(
+    structure, master: int, config: FRWConfig
+) -> tuple[CapacitanceRow, RunStats]:
+    """Convenience wrapper that builds the context first."""
+    return extract_row_alg2(build_context(structure, master, config))

@@ -1,0 +1,102 @@
+"""Per-master extraction context: everything a walk needs, precomputed.
+
+Building the Gaussian surface, spatial index, and transition table is done
+once per master conductor; the walk engine then only touches packed arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import FRWConfig
+from ..errors import GaussianSurfaceError
+from ..geometry import (
+    BruteForceIndex,
+    GaussianSurface,
+    GridIndex,
+    Structure,
+    build_gaussian_surface,
+    build_index,
+)
+from ..greens import CubeTransitionTable, get_cube_table
+from ..units import EPS0_FF_PER_UM
+
+
+@dataclass
+class ExtractionContext:
+    """Precomputed state for extracting one row of the capacitance matrix."""
+
+    structure: Structure
+    master: int
+    config: FRWConfig
+    surface: GaussianSurface
+    index: BruteForceIndex | GridIndex
+    table: CubeTransitionTable
+    h_cap: float
+    absorb_tol: float
+
+    @property
+    def n_conductors(self) -> int:
+        """Total conductors N including the enclosure."""
+        return self.structure.n_conductors
+
+    @property
+    def enclosure_index(self) -> int:
+        """Destination index for walks absorbed at the domain boundary."""
+        return self.structure.enclosure_index
+
+    @property
+    def flux_scale(self) -> float:
+        """``A_G * eps0`` prefactor of the first-hop weight, in fF*um."""
+        return self.surface.total_area * EPS0_FF_PER_UM
+
+
+def build_context(
+    structure: Structure, master: int, config: FRWConfig
+) -> ExtractionContext:
+    """Assemble the extraction context for one master conductor."""
+    if not (0 <= master < len(structure.conductors)):
+        raise GaussianSurfaceError(
+            f"master index {master} out of range "
+            f"(structure has {len(structure.conductors)} conductors)"
+        )
+    surface = build_gaussian_surface(
+        structure, master, offset_fraction=config.offset_fraction
+    )
+    enc = structure.enclosure
+    h_cap = config.h_cap_fraction * min(enc.sizes)
+    index = build_index(structure, h_cap=h_cap)
+    absorb_tol = config.absorption_fraction * surface.delta
+    # Fail early only on the degenerate configuration: a *horizontal*
+    # Gaussian patch coplanar (within the absorption tolerance) with a
+    # dielectric interface — every launch from it would need an
+    # interface-crossing first cube.  Vertical patches merely *crossing* an
+    # interface are fine: the engine floors the first-hop cube there
+    # (``first_hop_interface_floor``), trading a bounded bias for bounded
+    # variance; production solvers use multi-dielectric Green's tables [12].
+    stack = structure.dielectric
+    if not stack.is_homogeneous:
+        coords = np.array([p.coord for p in surface.patches])
+        axes = np.array([p.axis for p in surface.patches])
+        z_planes = coords[axes == 2]
+        if z_planes.size:
+            d_iface = stack.interface_distance(z_planes)
+            if float(d_iface.min()) < absorb_tol:
+                raise GaussianSurfaceError(
+                    f"a horizontal Gaussian patch of conductor "
+                    f"{structure.conductors[master].name!r} is coplanar with "
+                    "a dielectric interface; adjust offset_fraction or the "
+                    "layer stack"
+                )
+    return ExtractionContext(
+        structure=structure,
+        master=master,
+        config=config,
+        surface=surface,
+        index=index,
+        table=get_cube_table(config.table_resolution),
+        h_cap=h_cap,
+        absorb_tol=absorb_tol,
+    )

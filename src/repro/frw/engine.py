@@ -1,0 +1,218 @@
+"""Vectorised floating-random-walk engine.
+
+Executes batches of walks whose randomness comes entirely from per-walk
+counter streams, so the results of a walk depend only on ``(seed, uid)`` —
+never on batching, ordering, or the number of threads.  This is the property
+Alg. 2 builds on.
+
+Walk recipe (Sec. II-B):
+
+1. *Launch* (step 0): sample a point uniformly on the master's Gaussian
+   surface (3 uniforms: patch + 2 in-patch coordinates).
+2. *First hop* (step 1): the transition cube is the largest cube centred at
+   the point that avoids all conductors, dielectric interfaces, the domain
+   walls, and the ``h_cap`` clamp.  The hop samples the cube's surface
+   kernel and sets the walk weight
+
+       omega = -A_G * eps0 * eps_r(r) * sign * grad_ratio / (2 h),
+
+   the Monte-Carlo sample of Gauss's law (Eq. 2) with the centre-gradient
+   kernel along the patch normal.
+3. *Hops* (steps >= 2): transition cubes sampled from the surface kernel,
+   weight unchanged.  A walk closer to a dielectric interface than
+   ``interface_snap_fraction`` of its free space snaps onto the interface
+   and takes the exact two-medium hemisphere step instead (this also caps
+   the first-hop weight, keeping its variance finite near interfaces).
+4. *Absorption*: within ``absorb_tol`` (Chebyshev) of a conductor, the walk
+   ends there; within ``absorb_tol`` of the domain wall it ends on the
+   enclosure conductor.  The walk's sample is ``x_ij = omega * [dest = j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..greens.sphere import interface_hemisphere_direction
+from .context import ExtractionContext
+
+
+@dataclass
+class WalkResults:
+    """Per-walk outcomes of an engine run (aligned with the input uids)."""
+
+    uids: np.ndarray  # (n,) uint64
+    omega: np.ndarray  # (n,) float64 first-hop weights
+    dest: np.ndarray  # (n,) int64 absorbing conductor indices
+    steps: np.ndarray  # (n,) int64 hops taken (incl. launch)
+    truncated: int  # walks cut by the step cap (absorbed to enclosure)
+
+
+def run_walks(
+    ctx: ExtractionContext,
+    streams,
+    uids: np.ndarray,
+    trace: list | None = None,
+) -> WalkResults:
+    """Run a batch of walks to absorption.
+
+    Parameters
+    ----------
+    ctx:
+        Extraction context of the master conductor.
+    streams:
+        A per-walk stream provider (``WalkStreams`` or ``MTWalkStreams``).
+    uids:
+        Walk UIDs to execute; results are returned in the same order.
+    trace:
+        When given, per-step positions of all walks are appended (small
+        batches only; used by the scalar reference and Fig. 2).
+    """
+    uids = np.asarray(uids, dtype=np.uint64)
+    n = uids.shape[0]
+    cfg = ctx.config
+    stack = ctx.structure.dielectric
+    enclosure_index = ctx.enclosure_index
+    table = ctx.table
+
+    omega = np.zeros(n, dtype=np.float64)
+    dest = np.full(n, -1, dtype=np.int64)
+    steps = np.zeros(n, dtype=np.int64)
+
+    # Step 0: launch on the Gaussian surface.
+    u = streams.draws(uids, 0, 3)
+    pos, normal_axis, normal_sign = ctx.surface.sample(u)
+    eps_r = stack.eps_at(pos[:, 2])
+    first = np.ones(n, dtype=bool)
+    active = np.arange(n, dtype=np.int64)
+    if trace is not None:
+        trace.append((active.copy(), pos.copy()))
+
+    flux_scale = ctx.flux_scale
+    interfaces = stack._z  # () for homogeneous
+    truncated = 0
+
+    step = 1
+    while active.shape[0]:
+        if step > cfg.max_steps:
+            # Safety net: treat survivors as absorbed by the enclosure.
+            dest[active] = enclosure_index
+            steps[active] = step
+            truncated += int(active.shape[0])
+            break
+        dist_c, cond = ctx.index.query(pos)
+        dist_e = ctx.structure.enclosure_distance(pos)
+
+        absorb_wall = dist_e < ctx.absorb_tol
+        absorb_cond = (dist_c < ctx.absorb_tol) & (cond >= 0) & ~absorb_wall
+        done = absorb_wall | absorb_cond
+        if np.any(done & first):
+            raise ConvergenceError(
+                "walk absorbed before its first hop; the Gaussian surface "
+                "offset is smaller than the absorption tolerance"
+            )
+        if np.any(done):
+            idx = active[done]
+            dest[idx] = np.where(
+                absorb_wall[done], enclosure_index, cond[done]
+            )
+            steps[idx] = step
+            if hasattr(streams, "release"):
+                streams.release(uids[idx])
+            keep = ~done
+            active = active[keep]
+            pos = pos[keep]
+            eps_r = eps_r[keep]
+            first = first[keep]
+            normal_axis = normal_axis[keep]
+            normal_sign = normal_sign[keep]
+            dist_c = dist_c[keep]
+            dist_e = dist_e[keep]
+            if not active.shape[0]:
+                break
+
+        u = streams.draws(uids[active], step, 3)
+        allow = np.minimum(np.minimum(dist_c, dist_e), ctx.h_cap)
+
+        if stack.is_homogeneous:
+            on_iface = np.zeros(active.shape[0], dtype=bool)
+            dist_i = np.full(active.shape[0], np.inf)
+        else:
+            dist_i = stack.interface_distance(pos[:, 2])
+            # First hops never snap: the hemisphere step has no unbiased
+            # normal-gradient estimator across the interface, so the flux
+            # weight must come from an interface-clamped cube (the context
+            # guarantees launch points keep clearance from interfaces).
+            on_iface = (dist_i < cfg.interface_snap_fraction * allow) & ~first
+
+        new_pos = np.empty_like(pos)
+
+        cube = ~on_iface
+        if np.any(cube):
+            h = np.minimum(allow[cube], dist_i[cube])
+            # First hops carry the 1/h flux weight: floor h near interfaces
+            # (the cube then crosses the interface slightly — a small,
+            # bounded bias instead of unbounded weight variance).
+            floor = cfg.first_hop_interface_floor
+            if floor > 0.0 and np.any(first[cube]):
+                fc_mask = first[cube]
+                h[fc_mask] = np.maximum(h[fc_mask], floor * allow[cube][fc_mask])
+            cells = table.sample_cells(u[cube, 0])
+            unit = table.unit_positions(cells, u[cube, 1], u[cube, 2])
+            new_pos[cube] = (pos[cube] - h[:, None]) + unit * (2.0 * h)[:, None]
+            fc = first[cube]
+            if np.any(fc):
+                cube_idx = np.nonzero(cube)[0][fc]
+                ratio = table.grad_ratio[
+                    normal_axis[cube_idx], cells[fc]
+                ]
+                omega[active[cube_idx]] = (
+                    -flux_scale
+                    * eps_r[cube_idx]
+                    * normal_sign[cube_idx]
+                    * ratio
+                    / (2.0 * h[fc])
+                )
+        if np.any(on_iface):
+            z = pos[on_iface, 2]
+            k = stack.nearest_interface(z)
+            z_k = stack.interface_z(k)
+            eps_below, eps_above = stack.interface_eps_pair(k)
+            # Sphere radius: stay clear of conductors/walls (minus the snap
+            # displacement) and of the other interfaces.
+            r = np.minimum(allow[on_iface] - dist_i[on_iface], _other_interface_gap(interfaces, k))
+            r = np.maximum(r, 0.5 * ctx.absorb_tol)
+            direction = interface_hemisphere_direction(
+                u[on_iface, 0], u[on_iface, 1], u[on_iface, 2], eps_below, eps_above
+            )
+            center = pos[on_iface].copy()
+            center[:, 2] = z_k
+            new_pos[on_iface] = center + r[:, None] * direction
+
+        pos = new_pos
+        first[:] = False
+        if trace is not None:
+            trace.append((active.copy(), pos.copy()))
+        step += 1
+
+    if hasattr(streams, "release"):
+        streams.release(uids)
+    return WalkResults(
+        uids=uids, omega=omega, dest=dest, steps=steps, truncated=truncated
+    )
+
+
+def _other_interface_gap(interfaces: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Distance from interface ``k`` to its nearest neighbouring interface."""
+    if interfaces.shape[0] < 2:
+        return np.full(np.asarray(k).shape, np.inf)
+    gaps = np.diff(interfaces)
+    below = np.where(k > 0, gaps[np.maximum(k - 1, 0)], np.inf)
+    above = np.where(
+        k < interfaces.shape[0] - 1,
+        gaps[np.minimum(k, gaps.shape[0] - 1)],
+        np.inf,
+    )
+    return np.minimum(below, above)

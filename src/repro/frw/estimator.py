@@ -1,0 +1,145 @@
+"""Capacitance estimators: per-destination weight accumulators.
+
+A walk from master ``i`` that ends on conductor ``k`` with weight ``omega``
+is, simultaneously, a sample of *every* ``X_ij``: ``x_ij = omega * [k = j]``
+(Sec. II-B).  The accumulator therefore keeps, per destination conductor,
+the sum of weights and of squared weights plus a hit count; means divide by
+the total walk count ``M`` and the variance of each mean follows Eq. (9).
+
+The summation backend is pluggable (Kahan or naive) because the paper's
+FRW-NK ablation differs from FRW-R exactly here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..numerics.summation import KahanVector, NaiveVector
+
+
+@dataclass(frozen=True)
+class CapacitanceRow:
+    """One extracted row of the Maxwell capacitance matrix.
+
+    ``values[j]`` estimates ``C_master,j`` in fF; ``sigma2[j]`` is the
+    Eq. (9) variance of that mean; ``hits[j]`` counts absorbed walks.
+    """
+
+    master: int
+    values: np.ndarray
+    sigma2: np.ndarray
+    hits: np.ndarray
+    walks: int
+    total_steps: int
+
+    @property
+    def self_capacitance(self) -> float:
+        """The diagonal entry C_ii."""
+        return float(self.values[self.master])
+
+    @property
+    def self_relative_error(self) -> float:
+        """Relative standard error of C_ii (the paper's stopping metric)."""
+        c = self.values[self.master]
+        if c == 0.0:
+            return math.inf
+        return math.sqrt(max(self.sigma2[self.master], 0.0)) / abs(c)
+
+
+class RowAccumulator:
+    """Streaming accumulator for one master conductor's row."""
+
+    def __init__(self, n_conductors: int, master: int, summation: str = "kahan"):
+        vector_cls = KahanVector if summation == "kahan" else NaiveVector
+        self.master = master
+        self.n_conductors = n_conductors
+        self.summation = summation
+        self.sum_w = vector_cls(n_conductors)
+        self.sum_w2 = vector_cls(n_conductors)
+        self.hits = np.zeros(n_conductors, dtype=np.int64)
+        self.walks = 0
+        self.total_steps = 0
+
+    def spawn(self) -> "RowAccumulator":
+        """A fresh accumulator with the same configuration (thread-local)."""
+        return RowAccumulator(self.n_conductors, self.master, self.summation)
+
+    def add_walk(self, omega: float, dest: int, steps: int = 0) -> None:
+        """Accumulate a single walk (scalar hot path of the simulator)."""
+        self.sum_w.add_at(dest, omega)
+        self.sum_w2.add_at(dest, omega * omega)
+        self.hits[dest] += 1
+        self.walks += 1
+        self.total_steps += steps
+
+    def add_batch(
+        self, omega: np.ndarray, dest: np.ndarray, steps: np.ndarray | None = None
+    ) -> None:
+        """Accumulate a batch in array order (deterministic-merge mode).
+
+        Partial sums per destination are formed with ``np.add.at`` (a fixed
+        left-to-right order over the input arrays) and merged once into the
+        compensated accumulator, so the result is independent of how walks
+        were scheduled — provided callers pass walks in UID order.
+        """
+        omega = np.asarray(omega, dtype=np.float64)
+        dest = np.asarray(dest, dtype=np.int64)
+        part_w = np.zeros(self.n_conductors, dtype=np.float64)
+        part_w2 = np.zeros(self.n_conductors, dtype=np.float64)
+        np.add.at(part_w, dest, omega)
+        np.add.at(part_w2, dest, omega * omega)
+        self.sum_w.add(part_w)
+        self.sum_w2.add(part_w2)
+        np.add.at(self.hits, dest, 1)
+        self.walks += int(dest.shape[0])
+        if steps is not None:
+            self.total_steps += int(np.sum(steps))
+
+    def merge(self, other: "RowAccumulator") -> None:
+        """Absorb another accumulator (e.g. a thread-local partial)."""
+        self.sum_w.merge(other.sum_w)
+        self.sum_w2.merge(other.sum_w2)
+        self.hits += other.hits
+        self.walks += other.walks
+        self.total_steps += other.total_steps
+
+    def row(self) -> CapacitanceRow:
+        """Current estimates as a :class:`CapacitanceRow`."""
+        m = self.walks
+        sum_w = self.sum_w.value
+        sum_w2 = self.sum_w2.value
+        if m == 0:
+            values = np.zeros(self.n_conductors)
+            sigma2 = np.full(self.n_conductors, np.inf)
+        else:
+            values = sum_w / m
+            if m < 2:
+                sigma2 = np.full(self.n_conductors, np.inf)
+            else:
+                ss = np.maximum(sum_w2 - m * values * values, 0.0)
+                sigma2 = ss / (m * (m - 1))
+        return CapacitanceRow(
+            master=self.master,
+            values=values,
+            sigma2=sigma2,
+            hits=self.hits.copy(),
+            walks=m,
+            total_steps=self.total_steps,
+        )
+
+    @property
+    def self_relative_error(self) -> float:
+        """Relative standard error of the diagonal entry, cheaply."""
+        m = self.walks
+        if m < 2:
+            return math.inf
+        sw = self.sum_w.value[self.master]
+        sw2 = self.sum_w2.value[self.master]
+        if sw == 0.0:
+            return math.inf
+        mean = sw / m
+        ss = max(sw2 - m * mean * mean, 0.0)
+        return math.sqrt(ss / (m * (m - 1))) / abs(mean)

@@ -1,0 +1,117 @@
+"""Real shared-memory executors for batch walk computation.
+
+The virtual-thread scheduler reproduces parallel *floating-point behaviour*;
+this module provides actual concurrency for throughput: a batch's walk UIDs
+are split into chunks executed by a thread pool (NumPy releases the GIL in
+its inner loops, so threads overlap on multicore hosts).  Results are
+reassembled in UID order, so the extraction output is bit-identical to the
+serial engine — real parallelism changes wall time only, which is exactly
+the DOP-independence contract of Alg. 2.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..errors import ConfigError
+from .context import ExtractionContext
+from .engine import WalkResults, run_walks
+
+
+def run_walks_parallel(
+    ctx: ExtractionContext,
+    streams_factory,
+    uids: np.ndarray,
+    n_workers: int,
+    chunk_size: int | None = None,
+) -> WalkResults:
+    """Execute walks across a thread pool, preserving UID-order results.
+
+    ``streams_factory()`` must yield a fresh stream provider per worker
+    (counter streams are stateless so any number of providers agree
+    bit-for-bit).
+    """
+    uids = np.asarray(uids, dtype=np.uint64)
+    n = uids.shape[0]
+    workers = max(1, int(n_workers))
+    if workers == 1 or n < 2:
+        return run_walks(ctx, streams_factory(), uids)
+    if chunk_size is None:
+        chunk_size = max(64, (n + workers - 1) // workers)
+    chunks = [uids[start : start + chunk_size] for start in range(0, n, chunk_size)]
+
+    def work(chunk: np.ndarray) -> WalkResults:
+        return run_walks(ctx, streams_factory(), chunk)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        parts = list(pool.map(work, chunks))
+    return _reassemble(uids, parts)
+
+
+def _reassemble(uids: np.ndarray, parts: list[WalkResults]) -> WalkResults:
+    omega = np.concatenate([p.omega for p in parts])
+    dest = np.concatenate([p.dest for p in parts])
+    steps = np.concatenate([p.steps for p in parts])
+    truncated = sum(p.truncated for p in parts)
+    return WalkResults(
+        uids=uids, omega=omega, dest=dest, steps=steps, truncated=truncated
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend (distributed-memory flavour of the same contract).
+# ----------------------------------------------------------------------
+_PROCESS_STATE: dict = {}
+
+
+def _process_init(ctx: ExtractionContext, seed: int, stream: int) -> None:
+    from ..rng import WalkStreams
+
+    _PROCESS_STATE["ctx"] = ctx
+    _PROCESS_STATE["streams"] = WalkStreams(seed, stream)
+
+
+def _process_chunk(uids: np.ndarray) -> WalkResults:
+    return run_walks(_PROCESS_STATE["ctx"], _PROCESS_STATE["streams"], uids)
+
+
+def run_walks_processes(
+    ctx: ExtractionContext,
+    seed: int,
+    stream: int,
+    uids: np.ndarray,
+    n_workers: int,
+    chunk_size: int | None = None,
+) -> WalkResults:
+    """Execute walks across worker *processes* (counter-stream based).
+
+    Mirrors the distributed-memory deployments of FRW solvers: workers
+    share nothing but the structure (shipped once at pool start) and the
+    global seed; results are reassembled in UID order and are bit-identical
+    to the serial engine.  Counter-based streams make this trivially
+    correct — any worker can evaluate any walk.
+
+    Only available where ``fork`` is supported (POSIX).
+    """
+    uids = np.asarray(uids, dtype=np.uint64)
+    n = uids.shape[0]
+    workers = max(1, int(n_workers))
+    if workers == 1 or n < 2:
+        from ..rng import WalkStreams
+
+        return run_walks(ctx, WalkStreams(seed, stream), uids)
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+        raise ConfigError("process backend requires fork support") from exc
+    if chunk_size is None:
+        chunk_size = max(64, (n + workers - 1) // workers)
+    chunks = [uids[start : start + chunk_size] for start in range(0, n, chunk_size)]
+    with mp_ctx.Pool(
+        processes=workers, initializer=_process_init, initargs=(ctx, seed, stream)
+    ) as pool:
+        parts = pool.map(_process_chunk, chunks)
+    return _reassemble(uids, parts)

@@ -1,0 +1,167 @@
+"""FRWSolver — the user-facing facade over all solver variants.
+
+Typical use::
+
+    from repro import FRWSolver, FRWConfig, Structure
+
+    solver = FRWSolver(structure, FRWConfig.frw_rr(seed=7, n_threads=16,
+                                                   tolerance=1e-2))
+    result = solver.extract()          # all conductors as masters
+    print(result.matrix.pretty())
+    print(result.report)               # property metrics
+
+Variant dispatch (Sec. V):
+
+========  =========================================  ====================
+variant   scheme                                     post-process
+========  =========================================  ====================
+alg1      Alg. 1 baseline [1]                        none
+frw-nk    Alg. 2, naive summation                    none
+frw-nc    Alg. 2, Kahan, MT per-walk reseeding       none
+frw-r     Alg. 2, Kahan, CBRNG                       none
+frw-rr    Alg. 2, Kahan, CBRNG                       Alg. 3 regularization
+========  =========================================  ====================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.capmatrix import CapacitanceMatrix
+from ..config import FRWConfig
+from ..errors import ConfigError
+from ..geometry import Structure
+from ..reliability import PropertyReport, check_properties, regularize
+from .alg1_baseline import extract_row_alg1
+from .alg2_reproducible import RunStats, extract_row_alg2
+from .context import ExtractionContext, build_context
+from .estimator import CapacitanceRow
+
+
+@dataclass
+class ExtractionResult:
+    """Full multi-master extraction output."""
+
+    matrix: CapacitanceMatrix
+    raw_matrix: CapacitanceMatrix
+    rows: list[CapacitanceRow]
+    stats: list[RunStats]
+    config: FRWConfig
+    wall_time: float
+    regularization_time: float = 0.0
+    report: PropertyReport | None = field(default=None)
+
+    @property
+    def total_walks(self) -> int:
+        """Walks across all masters."""
+        return sum(s.walks for s in self.stats)
+
+    @property
+    def total_steps(self) -> int:
+        """Walk steps across all masters."""
+        return sum(s.total_steps for s in self.stats)
+
+    @property
+    def converged(self) -> bool:
+        """Whether every master met the stopping criterion."""
+        return all(s.converged for s in self.stats)
+
+    def modeled_runtime(self, n_threads: int | None = None) -> float:
+        """Parallel runtime model for Fig. 5 (seconds).
+
+        ``max_t(work_t)`` summed over masters, scaled by the measured
+        single-thread step throughput of this run.  With ``n_threads`` the
+        schedule work counters must have been collected at that DOP.
+        """
+        total_span = sum(float(s.thread_work.max()) for s in self.stats)
+        total_work = sum(float(s.thread_work.sum()) for s in self.stats)
+        if total_work == 0.0:
+            return 0.0
+        seconds_per_unit = self.wall_time / total_work
+        return total_span * seconds_per_unit
+
+
+class FRWSolver:
+    """Parallel FRW capacitance extractor for a :class:`Structure`."""
+
+    def __init__(self, structure: Structure, config: FRWConfig | None = None):
+        self.structure = structure
+        self.config = config if config is not None else FRWConfig()
+        self._contexts: dict[int, ExtractionContext] = {}
+
+    def context(self, master: int) -> ExtractionContext:
+        """Cached extraction context for one master conductor."""
+        ctx = self._contexts.get(master)
+        if ctx is None:
+            ctx = build_context(self.structure, master, self.config)
+            self._contexts[master] = ctx
+        return ctx
+
+    def extract_row(self, master: int) -> tuple[CapacitanceRow, RunStats]:
+        """Extract a single row of the capacitance matrix."""
+        ctx = self.context(master)
+        if self.config.variant == "alg1":
+            return extract_row_alg1(ctx, self.config)
+        return extract_row_alg2(ctx, self.config)
+
+    def extract(self, masters: list[int] | None = None) -> ExtractionResult:
+        """Extract rows for the given masters (default: all conductors).
+
+        For ``frw-rr``, masters must be ``0..Nm-1`` (the regularization
+        couples rows through the symmetry constraint).
+        """
+        if masters is None:
+            masters = list(range(len(self.structure.conductors)))
+        if not masters:
+            raise ConfigError("need at least one master conductor")
+        t0 = time.perf_counter()
+        rows: list[CapacitanceRow] = []
+        stats: list[RunStats] = []
+        for master in masters:
+            row, stat = self.extract_row(master)
+            rows.append(row)
+            stats.append(stat)
+        wall = time.perf_counter() - t0
+
+        raw = CapacitanceMatrix(
+            values=np.stack([r.values for r in rows]),
+            masters=list(masters),
+            names=self.structure.names,
+            sigma2=np.stack([r.sigma2 for r in rows]),
+            hits=np.stack([r.hits for r in rows]),
+            meta={
+                "variant": self.config.variant,
+                "seed": self.config.seed,
+                "n_threads": self.config.n_threads,
+                "tolerance": self.config.tolerance,
+            },
+        )
+        reg_time = 0.0
+        if self.config.uses_regularization:
+            t1 = time.perf_counter()
+            matrix = regularize(raw)
+            reg_time = time.perf_counter() - t1
+        else:
+            matrix = raw
+        return ExtractionResult(
+            matrix=matrix,
+            raw_matrix=raw,
+            rows=rows,
+            stats=stats,
+            config=self.config,
+            wall_time=wall,
+            regularization_time=reg_time,
+            report=check_properties(matrix),
+        )
+
+
+def extract(
+    structure: Structure,
+    config: FRWConfig | None = None,
+    masters: list[int] | None = None,
+) -> ExtractionResult:
+    """One-call extraction convenience function."""
+    return FRWSolver(structure, config).extract(masters)

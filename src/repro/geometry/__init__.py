@@ -1,0 +1,55 @@
+"""Rectilinear 3-D geometry: boxes, conductors, dielectrics, structures,
+spatial indices, and Gaussian-surface construction."""
+
+from .box import (
+    Box,
+    boxes_to_arrays,
+    distance_l2_many,
+    distance_linf_many,
+    nearest_box,
+)
+from .conductor import Conductor
+from .dielectric import DielectricStack
+from .io import (
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+from .rect import Rect, subtract_many, subtract_one, total_area, union_area
+from .spatial_index import BruteForceIndex, GridIndex, build_index
+from .structure import ENCLOSURE_NAME, Structure
+from .surface import (
+    GaussianSurface,
+    SurfacePatch,
+    build_gaussian_surface,
+    build_offset_surface,
+)
+
+__all__ = [
+    "ENCLOSURE_NAME",
+    "Box",
+    "BruteForceIndex",
+    "Conductor",
+    "DielectricStack",
+    "GaussianSurface",
+    "GridIndex",
+    "Rect",
+    "Structure",
+    "SurfacePatch",
+    "boxes_to_arrays",
+    "build_gaussian_surface",
+    "build_index",
+    "build_offset_surface",
+    "distance_l2_many",
+    "distance_linf_many",
+    "load_structure",
+    "nearest_box",
+    "save_structure",
+    "structure_from_dict",
+    "structure_to_dict",
+    "subtract_many",
+    "subtract_one",
+    "total_area",
+    "union_area",
+]

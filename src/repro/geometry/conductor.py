@@ -1,0 +1,55 @@
+"""Conductors: named nets made of one or more axis-aligned boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GeometryError
+from .box import Box
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """A conductor net — an equipotential union of boxes.
+
+    In capacitance extraction every *net* is one conductor even if drawn as
+    many boxes (a wordline crossing an array, a spiral inductor, ...).  The
+    boxes may touch or overlap each other; they may not touch other
+    conductors.
+    """
+
+    name: str
+    boxes: tuple[Box, ...]
+
+    def __post_init__(self) -> None:
+        if not self.boxes:
+            raise GeometryError(f"conductor {self.name!r} has no boxes")
+        if not self.name:
+            raise GeometryError("conductor name must be non-empty")
+
+    @classmethod
+    def single(cls, name: str, box: Box) -> "Conductor":
+        """One-box conductor."""
+        return cls(name, (box,))
+
+    @property
+    def n_boxes(self) -> int:
+        """Number of boxes in the net."""
+        return len(self.boxes)
+
+    @property
+    def bounding_box(self) -> Box:
+        """Axis-aligned bounding box of the whole net."""
+        bb = self.boxes[0]
+        for box in self.boxes[1:]:
+            bb = bb.union_bounds(box)
+        return bb
+
+    def gap_linf(self, other: "Conductor") -> float:
+        """Minimum Chebyshev gap between two nets (0 = touching)."""
+        return min(
+            a.gap_linf(b) for a in self.boxes for b in other.boxes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Conductor({self.name!r}, {self.n_boxes} boxes)"

@@ -1,0 +1,118 @@
+"""2-D axis-aligned rectangles with rectilinear boolean subtraction.
+
+The Gaussian-surface builder offsets every box of a conductor and takes the
+boundary of the union.  Each face of an inflated box is a rectangle from
+which the interiors of the *other* inflated boxes (sliced at the face plane)
+must be subtracted; the remainder is a set of disjoint rectangles that become
+flux-sampling patches.  This module provides that subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A non-degenerate axis-aligned rectangle ``[x0,x1] x [y0,y1]``."""
+
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x0 < self.x1 and self.y0 < self.y1):
+            raise GeometryError(f"degenerate rectangle {self!r}")
+
+    @property
+    def area(self) -> float:
+        """Rectangle area."""
+        return (self.x1 - self.x0) * (self.y1 - self.y0)
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the open interiors overlap."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def contains_point(self, x: float, y: float, tol: float = 0.0) -> bool:
+        """Whether a point lies inside (closed, within tol)."""
+        return (
+            self.x0 - tol <= x <= self.x1 + tol
+            and self.y0 - tol <= y <= self.y1 + tol
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Open-interior intersection, or None if empty."""
+        x0 = max(self.x0, other.x0)
+        x1 = min(self.x1, other.x1)
+        y0 = max(self.y0, other.y0)
+        y1 = min(self.y1, other.y1)
+        if x0 < x1 and y0 < y1:
+            return Rect(x0, x1, y0, y1)
+        return None
+
+
+def subtract_one(rect: Rect, hole: Rect) -> list[Rect]:
+    """Subtract one rectangle from another.
+
+    Returns up to four disjoint rectangles covering ``rect \\ hole``
+    (guillotine decomposition: bottom strip, top strip, left and right
+    middle pieces).
+    """
+    cut = rect.intersection(hole)
+    if cut is None:
+        return [rect]
+    pieces: list[Rect] = []
+    if rect.y0 < cut.y0:
+        pieces.append(Rect(rect.x0, rect.x1, rect.y0, cut.y0))
+    if cut.y1 < rect.y1:
+        pieces.append(Rect(rect.x0, rect.x1, cut.y1, rect.y1))
+    if rect.x0 < cut.x0:
+        pieces.append(Rect(rect.x0, cut.x0, cut.y0, cut.y1))
+    if cut.x1 < rect.x1:
+        pieces.append(Rect(cut.x1, rect.x1, cut.y0, cut.y1))
+    return pieces
+
+
+def subtract_many(rect: Rect, holes: list[Rect]) -> list[Rect]:
+    """Subtract a list of rectangles from ``rect``.
+
+    Returns disjoint rectangles covering ``rect \\ union(holes)``.  The
+    result is exact (rectilinear geometry closes under boolean ops).
+    """
+    remaining = [rect]
+    for hole in holes:
+        next_remaining: list[Rect] = []
+        for piece in remaining:
+            next_remaining.extend(subtract_one(piece, hole))
+        remaining = next_remaining
+        if not remaining:
+            break
+    return remaining
+
+
+def total_area(rects: list[Rect]) -> float:
+    """Sum of rectangle areas (rectangles assumed disjoint)."""
+    return sum(r.area for r in rects)
+
+
+def union_area(rects: list[Rect]) -> float:
+    """Area of the union of possibly-overlapping rectangles.
+
+    Computed by sweeping: decompose the union into disjoint pieces by
+    repeatedly subtracting earlier rectangles from later ones.
+    """
+    area = 0.0
+    placed: list[Rect] = []
+    for rect in rects:
+        for piece in subtract_many(rect, placed):
+            area += piece.area
+        placed.append(rect)
+    return area

@@ -1,0 +1,112 @@
+"""Reproducibility metrics: matched decimal digits and the paper's RI.
+
+Sec. III-A defines the reproducibility index (RI) of a pair of runs as the
+number ``d`` such that *every* capacitance matches in at least ``d`` decimal
+significant digits; bitwise-identical results score 17 (double precision
+cannot carry more than 16 significant decimal digits, so 17 marks exact
+equality).  Over ``P`` runs the experiment reports ``RI_min`` and ``RI_avg``
+across all ``P(P-1)/2`` pairs (Eq. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+#: RI value assigned to bitwise-identical results.
+BITWISE_RI = 17
+
+
+def matched_digits(a: float, b: float) -> int:
+    """Matched decimal significant digits between two scalars.
+
+    Returns :data:`BITWISE_RI` for exact equality (including both zero), and
+    ``floor(-log10(|a-b| / max(|a|,|b|)))`` clamped to ``[0, 17]`` otherwise.
+    NaNs never match (0 digits, or 17 if both are NaN with equal bit
+    pattern semantics is *not* applied: NaN pairs score 0).
+    """
+    if math.isnan(a) or math.isnan(b):
+        return 0
+    if a == b:
+        return BITWISE_RI
+    denom = max(abs(a), abs(b))
+    if denom == 0.0:
+        return BITWISE_RI
+    rel = abs(a - b) / denom
+    if rel <= 0.0:
+        return BITWISE_RI
+    digits = int(math.floor(-math.log10(rel)))
+    return max(0, min(BITWISE_RI, digits))
+
+
+def matrix_matched_digits(a: np.ndarray, b: np.ndarray) -> int:
+    """Minimum matched digits over all entries of two equal-shape arrays.
+
+    This is the pairwise RI ``d_ij`` of Sec. III-A: the guarantee holds for
+    *every* capacitance, so the matrix score is the entrywise minimum.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return BITWISE_RI
+    flat_a = a.ravel()
+    flat_b = b.ravel()
+    if np.array_equal(flat_a, flat_b):
+        return BITWISE_RI
+    worst = BITWISE_RI
+    # Vectorised fast path: compute relative differences where possible.
+    denom = np.maximum(np.abs(flat_a), np.abs(flat_b))
+    diff = np.abs(flat_a - flat_b)
+    active = (diff > 0) & (denom > 0)
+    if np.any(np.isnan(flat_a)) or np.any(np.isnan(flat_b)):
+        nan_mismatch = np.isnan(flat_a) | np.isnan(flat_b)
+        if np.any(nan_mismatch):
+            return 0
+    if np.any(active):
+        rel = diff[active] / denom[active]
+        digits = np.floor(-np.log10(rel))
+        worst = int(np.clip(digits.min(), 0, BITWISE_RI))
+    return worst
+
+
+@dataclass(frozen=True)
+class RIStats:
+    """Summary of pairwise reproducibility indices over a set of runs."""
+
+    ri_min: int
+    ri_avg: float
+    n_runs: int
+    n_pairs: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RI_min={self.ri_min} RI_avg={self.ri_avg:.1f} ({self.n_pairs} pairs)"
+
+
+def reproducibility_indices(results: Sequence[np.ndarray]) -> RIStats:
+    """Compute ``RI_min`` and ``RI_avg`` (Eq. 6) over repeated runs.
+
+    Parameters
+    ----------
+    results:
+        ``P`` capacitance matrices from repeated extractions of the same
+        input (possibly with different DOP or on different machines).
+    """
+    n = len(results)
+    if n < 2:
+        raise ValueError("need at least two runs to compare reproducibility")
+    scores = [
+        matrix_matched_digits(results[i], results[j])
+        for i, j in combinations(range(n), 2)
+    ]
+    return RIStats(
+        ri_min=min(scores),
+        ri_avg=float(sum(scores)) / len(scores),
+        n_runs=n,
+        n_pairs=len(scores),
+    )

@@ -1,0 +1,158 @@
+"""Minimal compressed-sparse-column matrix support.
+
+A deliberately small CSC container used by the sparse Cholesky factorisation
+and the FDM assembly.  It is implemented from scratch (validated against
+SciPy in tests) so the regularization path has no hard dependency on SciPy's
+sparse module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NumericalError
+
+
+@dataclass
+class CSCMatrix:
+    """Compressed sparse column matrix.
+
+    Attributes
+    ----------
+    indptr:
+        ``(ncols+1,)`` int64 column pointers.
+    indices:
+        Row indices, sorted within each column, no duplicates.
+    data:
+        Nonzero values aligned with ``indices``.
+    shape:
+        ``(nrows, ncols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.shape[0])
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of column ``j``."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise NumericalError(
+                f"matvec dimension mismatch: {self.shape} @ {x.shape}"
+            )
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        for j in range(self.shape[1]):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            if lo != hi and x[j] != 0.0:
+                np.add.at(out, self.indices[lo:hi], self.data[lo:hi] * x[j])
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (tests / small problems only)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        for j in range(self.shape[1]):
+            rows, vals = self.column(j)
+            out[rows, j] = vals
+        return out
+
+    def transpose(self) -> "CSCMatrix":
+        """Return the transpose as a new CSC matrix."""
+        rows, cols, vals = [], [], []
+        for j in range(self.shape[1]):
+            r, v = self.column(j)
+            rows.append(np.full(r.shape[0], j, dtype=np.int64))
+            cols.append(r.astype(np.int64))
+            vals.append(v)
+        if rows:
+            return csc_from_coo(
+                np.concatenate(rows),
+                np.concatenate(cols),
+                np.concatenate(vals),
+                (self.shape[1], self.shape[0]),
+            )
+        return csc_from_coo(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            (self.shape[1], self.shape[0]),
+        )
+
+
+def csc_from_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    shape: tuple[int, int],
+) -> CSCMatrix:
+    """Build a CSC matrix from COO triplets, summing duplicates."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if not (rows.shape == cols.shape == values.shape):
+        raise NumericalError("COO triplet arrays must have identical shapes")
+    nrows, ncols = shape
+    if rows.size and (rows.min() < 0 or rows.max() >= nrows):
+        raise NumericalError("COO row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= ncols):
+        raise NumericalError("COO column index out of range")
+
+    order = np.lexsort((rows, cols))
+    rows = rows[order]
+    cols = cols[order]
+    values = values[order]
+
+    if rows.size:
+        keep = np.empty(rows.shape[0], dtype=bool)
+        keep[0] = True
+        keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        group_ids = np.cumsum(keep) - 1
+        summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, group_ids, values)
+        rows = rows[keep]
+        cols = cols[keep]
+        values = summed
+
+    indptr = np.zeros(ncols + 1, dtype=np.int64)
+    np.add.at(indptr, cols + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSCMatrix(indptr=indptr, indices=rows, data=values, shape=shape)
+
+
+def csc_from_dense(a: np.ndarray, tol: float = 0.0) -> CSCMatrix:
+    """Build a CSC matrix from a dense array, dropping |entries| <= tol."""
+    a = np.asarray(a, dtype=np.float64)
+    rows, cols = np.nonzero(np.abs(a) > tol)
+    return csc_from_coo(rows, cols, a[rows, cols], a.shape)
+
+
+def csc_permute_symmetric(a: CSCMatrix, perm: np.ndarray) -> CSCMatrix:
+    """Symmetric permutation ``A[perm][:, perm]`` of a square CSC matrix."""
+    if a.shape[0] != a.shape[1]:
+        raise NumericalError("symmetric permutation needs a square matrix")
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.shape[0])
+    rows, cols, vals = [], [], []
+    for j in range(a.shape[1]):
+        r, v = a.column(j)
+        rows.append(inverse[r])
+        cols.append(np.full(r.shape[0], inverse[j], dtype=np.int64))
+        vals.append(v)
+    return csc_from_coo(
+        np.concatenate(rows) if rows else np.empty(0, dtype=np.int64),
+        np.concatenate(cols) if cols else np.empty(0, dtype=np.int64),
+        np.concatenate(vals) if vals else np.empty(0, dtype=np.float64),
+        a.shape,
+    )

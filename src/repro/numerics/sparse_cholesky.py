@@ -1,0 +1,218 @@
+"""Sparse Cholesky factorisation (up-looking) with RCM ordering.
+
+The regularization system ``A~ z = b`` (Eq. 16) is SPD with a sparsity
+pattern given by the master-to-master coupling graph; for the large cases
+(Table I case 6 has ``Nm`` ~ 48k masters) a dense factorisation is
+impossible, and the paper's ``O(Nm^2)`` cost bound assumes sparse direct
+solution [28].  This module implements:
+
+* :func:`elimination_tree` — the etree of a symmetric sparse matrix,
+* :func:`rcm_ordering` — reverse Cuthill-McKee bandwidth reduction (own BFS),
+* :class:`SparseCholesky` — an up-looking row-by-row Cholesky (CSparse-style
+  reach + sparse triangular solve) with forward/backward solves.
+
+Everything is validated against dense Cholesky and SciPy in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import NumericalError
+from .sparse import CSCMatrix, csc_permute_symmetric
+
+
+def elimination_tree(a: CSCMatrix) -> np.ndarray:
+    """Elimination tree of a symmetric CSC matrix (parent array, -1 = root).
+
+    Uses the classic Liu algorithm with path compression via virtual
+    ancestors.
+    """
+    n = a.shape[1]
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    for k in range(n):
+        rows, _ = a.column(k)
+        for i in rows:
+            i = int(i)
+            while i != -1 and i < k:
+                next_anc = int(ancestor[i])
+                ancestor[i] = k
+                if next_anc == -1:
+                    parent[i] = k
+                i = next_anc
+    return parent
+
+
+def _adjacency(a: CSCMatrix) -> list[np.ndarray]:
+    """Symmetric adjacency lists (excluding the diagonal)."""
+    n = a.shape[1]
+    neighbours: list[set[int]] = [set() for _ in range(n)]
+    for j in range(n):
+        rows, _ = a.column(j)
+        for i in rows:
+            i = int(i)
+            if i != j:
+                neighbours[i].add(j)
+                neighbours[j].add(i)
+    return [np.array(sorted(s), dtype=np.int64) for s in neighbours]
+
+
+def rcm_ordering(a: CSCMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of a symmetric sparse matrix.
+
+    Returns a permutation ``perm`` such that ``A[perm][:, perm]`` has reduced
+    bandwidth, which bounds Cholesky fill-in.  Each connected component is
+    seeded from a minimum-degree vertex.
+    """
+    n = a.shape[1]
+    adj = _adjacency(a)
+    degree = np.array([len(x) for x in adj], dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for seed in np.argsort(degree, kind="stable"):
+        seed = int(seed)
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue: deque[int] = deque([seed])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            fresh = [int(v) for v in adj[node] if not visited[v]]
+            fresh.sort(key=lambda v: (int(degree[v]), v))
+            for v in fresh:
+                visited[v] = True
+                queue.append(v)
+    return np.array(order[::-1], dtype=np.int64)
+
+
+class SparseCholesky:
+    """Up-looking sparse Cholesky factorisation of an SPD CSC matrix.
+
+    Parameters
+    ----------
+    a:
+        SPD matrix in CSC form (full symmetric storage).
+    ordering:
+        ``"rcm"`` (default), ``"natural"``, or an explicit permutation array.
+    """
+
+    def __init__(self, a: CSCMatrix, ordering: str | np.ndarray = "rcm"):
+        if a.shape[0] != a.shape[1]:
+            raise NumericalError("SparseCholesky needs a square matrix")
+        n = a.shape[0]
+        if isinstance(ordering, str):
+            if ordering == "rcm":
+                perm = rcm_ordering(a)
+            elif ordering == "natural":
+                perm = np.arange(n, dtype=np.int64)
+            else:
+                raise NumericalError(f"unknown ordering {ordering!r}")
+        else:
+            perm = np.asarray(ordering, dtype=np.int64)
+            if sorted(perm.tolist()) != list(range(n)):
+                raise NumericalError("ordering is not a permutation")
+        self.perm = perm
+        self.n = n
+        self._factorize(csc_permute_symmetric(a, perm))
+
+    def _factorize(self, a: CSCMatrix) -> None:
+        n = self.n
+        parent = elimination_tree(a)
+        # Column lists of L: rows strictly below the diagonal, plus diagonal.
+        col_rows: list[list[int]] = [[] for _ in range(n)]
+        col_vals: list[list[float]] = [[] for _ in range(n)]
+        diag = np.zeros(n, dtype=np.float64)
+        x = np.zeros(n, dtype=np.float64)
+        mark = np.full(n, -1, dtype=np.int64)
+        for k in range(n):
+            rows, vals = a.column(k)
+            # Scatter the upper-triangular part of column k (rows <= k)
+            # and find the row-k pattern as the etree reach of those rows.
+            pattern: list[int] = []
+            akk = 0.0
+            for i, v in zip(rows, vals):
+                i = int(i)
+                if i > k:
+                    continue
+                if i == k:
+                    akk = float(v)
+                    continue
+                x[i] = float(v)
+                # Walk up the etree marking the path to k.
+                path = []
+                node = i
+                while node != -1 and node < k and mark[node] != k:
+                    path.append(node)
+                    mark[node] = k
+                    node = int(parent[node])
+                pattern.extend(path)
+            pattern.sort()
+            d = akk
+            for i in pattern:
+                lki = x[i] / diag[i]
+                # Update pending entries of row k using column i of L.
+                for r, lv in zip(col_rows[i], col_vals[i]):
+                    if r < k and mark[r] == k:
+                        x[r] -= lv * lki
+                    elif r < k and mark[r] != k:
+                        # Entry outside the reach cannot be touched: the
+                        # etree reach is exactly the row pattern, so any
+                        # update lands inside it.  Guard for safety.
+                        raise NumericalError(
+                            "internal error: update outside etree reach"
+                        )
+                    # r >= k entries belong to later rows; skip.
+                x[i] = lki
+                d -= lki * lki
+            if d <= 0.0 or not np.isfinite(d):
+                raise NumericalError(
+                    f"matrix is not positive definite (pivot {d!r} at row {k})"
+                )
+            diag[k] = float(np.sqrt(d))
+            for i in pattern:
+                col_rows[i].append(k)
+                col_vals[i].append(float(x[i]))
+                x[i] = 0.0
+        self._diag = diag
+        self._col_rows = [np.array(r, dtype=np.int64) for r in col_rows]
+        self._col_vals = [np.array(v, dtype=np.float64) for v in col_vals]
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of L (including the diagonal)."""
+        return self.n + sum(r.shape[0] for r in self._col_rows)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` using the stored factor."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise NumericalError(f"rhs has shape {b.shape}, expected ({self.n},)")
+        y = b[self.perm].copy()
+        # Forward solve L y' = y (column-oriented).
+        for j in range(self.n):
+            y[j] /= self._diag[j]
+            rows = self._col_rows[j]
+            if rows.shape[0]:
+                y[rows] -= self._col_vals[j] * y[j]
+        # Backward solve L^T x = y'.
+        for j in range(self.n - 1, -1, -1):
+            rows = self._col_rows[j]
+            if rows.shape[0]:
+                y[j] -= float(np.dot(self._col_vals[j], y[rows]))
+            y[j] /= self._diag[j]
+        out = np.empty_like(y)
+        out[self.perm] = y
+        return out
+
+    def factor_dense(self) -> np.ndarray:
+        """Materialise the permuted factor L as dense (tests only)."""
+        lower = np.zeros((self.n, self.n), dtype=np.float64)
+        for j in range(self.n):
+            lower[j, j] = self._diag[j]
+            rows = self._col_rows[j]
+            lower[rows, j] = self._col_vals[j]
+        return lower

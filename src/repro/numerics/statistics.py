@@ -1,0 +1,102 @@
+"""Streaming statistics for Monte Carlo estimation.
+
+Provides Welford-style running mean/variance (used by tests and diagnostic
+tooling) and the standard-error helpers behind the FRW stopping criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RunningStats:
+    """Welford running mean and variance of a scalar stream."""
+
+    __slots__ = ("count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Incorporate one sample."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    def add_many(self, xs: np.ndarray) -> None:
+        """Incorporate a batch of samples (numerically stable merge)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        n_b = xs.shape[0]
+        if n_b == 0:
+            return
+        mean_b = float(xs.mean())
+        m2_b = float(((xs - mean_b) ** 2).sum())
+        n_a = self.count
+        delta = mean_b - self._mean
+        total = n_a + n_b
+        self._mean += delta * n_b / total
+        self._m2 += m2_b + delta * delta * n_a * n_b / total
+        self.count = total
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 2:
+            return math.inf
+        return math.sqrt(self.variance / self.count)
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """A Monte Carlo mean with its standard error."""
+
+    mean: float
+    std_error: float
+    count: int
+
+    @property
+    def relative_error(self) -> float:
+        """Standard error relative to |mean| (inf for zero mean)."""
+        if self.mean == 0.0:
+            return math.inf
+        return self.std_error / abs(self.mean)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval at z standard errors."""
+        half = z * self.std_error
+        return self.mean - half, self.mean + half
+
+
+def mean_variance_from_sums(
+    sum_w: float, sum_w2: float, count: int
+) -> tuple[float, float]:
+    """Mean and Eq. (9) variance-of-mean from raw accumulator sums.
+
+    Given ``sum_w = sum(x_m)`` and ``sum_w2 = sum(x_m^2)`` over ``count``
+    samples, returns ``(mean, sigma^2)`` where ``sigma^2`` estimates
+    ``Var(X)/M`` — the variance of the sample mean.
+    """
+    if count < 2:
+        return (sum_w / count if count else 0.0), math.inf
+    mean = sum_w / count
+    # sum (x - mean)^2 = sum x^2 - count * mean^2; guard tiny negatives
+    ss = max(sum_w2 - count * mean * mean, 0.0)
+    return mean, ss / (count * (count - 1))

@@ -1,0 +1,29 @@
+"""Physics-related reliability: property metrics and the Alg. 3
+constrained-MLE regularization with its Sec. IV-C variants."""
+
+from .macromodel import MacromodelReport, grounded_matrix, macromodel_report
+from .properties import (
+    PropertyReport,
+    asymmetry_error,
+    capacitance_error,
+    check_properties,
+    row_sum_error,
+    sign_violations,
+)
+from .regularize import regularize
+from .symmetrize import naive_adjustment, symmetrize
+
+__all__ = [
+    "MacromodelReport",
+    "PropertyReport",
+    "grounded_matrix",
+    "macromodel_report",
+    "asymmetry_error",
+    "capacitance_error",
+    "check_properties",
+    "naive_adjustment",
+    "regularize",
+    "row_sum_error",
+    "sign_violations",
+    "symmetrize",
+]

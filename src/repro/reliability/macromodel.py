@@ -1,0 +1,88 @@
+"""Macromodel validity checks (refs [18-20] of the paper).
+
+Hierarchical extraction builds *macromodels* from capacitance matrices of
+local layouts; those macromodels are valid only when the matrix is a
+physically realisable capacitance operator.  For the full N x N Maxwell
+matrix this means:
+
+* symmetric (Property 2),
+* non-positive off-diagonals / non-negative diagonals (Property 1),
+* weakly diagonally dominant with zero row sums (Property 3) — together
+  these make it a singular symmetric M-matrix, hence positive semidefinite
+  (a passive one-energy-storage network).
+
+:func:`macromodel_report` evaluates these conditions (including the PSD
+spectrum) for an extracted master block, treating non-master couplings as
+ground.  The paper's motivation — that raw FRW output breaks downstream
+macromodel flows while Alg. 3 output does not — is asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.capmatrix import CapacitanceMatrix
+
+
+@dataclass(frozen=True)
+class MacromodelReport:
+    """Realisability diagnostics of a capacitance matrix."""
+
+    symmetric: bool
+    signs_ok: bool
+    diagonally_dominant: bool
+    min_eigenvalue: float
+    positive_semidefinite: bool
+
+    @property
+    def realisable(self) -> bool:
+        """Whether the matrix is a valid (passive) capacitance operator."""
+        return (
+            self.symmetric
+            and self.signs_ok
+            and self.diagonally_dominant
+            and self.positive_semidefinite
+        )
+
+
+def grounded_matrix(cap: CapacitanceMatrix) -> np.ndarray:
+    """The Nm x Nm operator with non-master conductors grounded.
+
+    Grounding eliminates the non-master columns: the effective operator is
+    just the master block (charges respond only to master potentials).
+    """
+    return np.array(cap.master_block, dtype=np.float64)
+
+
+def macromodel_report(
+    cap: CapacitanceMatrix, tol: float = 1e-9
+) -> MacromodelReport:
+    """Evaluate macromodel realisability of the extracted master block.
+
+    ``tol`` is relative to the largest diagonal entry.
+    """
+    block = grounded_matrix(cap)
+    scale = float(np.abs(np.diag(block)).max()) if block.size else 1.0
+    atol = tol * max(scale, 1e-300)
+
+    symmetric = bool(np.abs(block - block.T).max() <= atol) if block.size else True
+    diag = np.diag(block)
+    off = block - np.diag(diag)
+    signs_ok = bool(np.all(diag >= -atol) and np.all(off <= atol))
+    # Weak diagonal dominance: C_ii >= sum_j |C_ij|.  With the full row
+    # including grounded conductors this is implied by zero row sums; on the
+    # master block alone it holds because dropped couplings are <= 0.
+    dominance = diag - np.abs(off).sum(axis=1)
+    diagonally_dominant = bool(np.all(dominance >= -atol))
+    sym_part = 0.5 * (block + block.T)
+    eigenvalues = np.linalg.eigvalsh(sym_part) if block.size else np.zeros(0)
+    min_eig = float(eigenvalues.min()) if eigenvalues.size else 0.0
+    return MacromodelReport(
+        symmetric=symmetric,
+        signs_ok=signs_ok,
+        diagonally_dominant=diagonally_dominant,
+        min_eigenvalue=min_eig,
+        positive_semidefinite=bool(min_eig >= -atol),
+    )

@@ -1,0 +1,122 @@
+"""Physical-property checks and error metrics for capacitance matrices.
+
+Sec. II-A's three properties of a Maxwell capacitance matrix:
+
+* **Property 1 (sign)**: ``C_ii >= 0`` and ``C_ij <= 0`` for ``i != j``;
+* **Property 2 (symmetry)**: ``C_ij = C_ji``;
+* **Property 3 (zero row-sum)**: ``sum_j C_ij = 0`` (bounded domain).
+
+Eq. (18) defines the deviation metrics Err2 (asymmetry) and Err3 (row-sum)
+reported in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.capmatrix import CapacitanceMatrix
+
+
+def asymmetry_error(cap: CapacitanceMatrix) -> float:
+    """Err2: weighted average asymmetry of the master-master block.
+
+    ``sum_{i<j} |C_ij - C_ji| / sum_{i<j} |C_ij|`` (Eq. 18).
+    """
+    block = cap.master_block
+    nm = block.shape[0]
+    if nm < 2:
+        return 0.0
+    iu = np.triu_indices(nm, k=1)
+    num = float(np.abs(block[iu] - block.T[iu]).sum())
+    den = float(np.abs(block[iu]).sum())
+    if den == 0.0:
+        return 0.0
+    return num / den
+
+
+def row_sum_error(cap: CapacitanceMatrix) -> float:
+    """Err3: weighted average row-sum violation.
+
+    ``sum_i |sum_j C_ij| / sum_i |C_ii|`` (Eq. 18).
+    """
+    sums = np.abs(cap.values.sum(axis=1)).sum()
+    diag = np.abs(
+        cap.values[np.arange(cap.n_masters), cap.masters]
+    ).sum()
+    if diag == 0.0:
+        return float("inf") if sums > 0 else 0.0
+    return float(sums / diag)
+
+
+def sign_violations(cap: CapacitanceMatrix) -> tuple[int, int]:
+    """Count Property-1 violations: (negative diagonals, positive couplings)."""
+    rows = np.arange(cap.n_masters)
+    diag = cap.values[rows, cap.masters]
+    neg_diag = int((diag < 0).sum())
+    off = cap.values.copy()
+    off[rows, cap.masters] = 0.0
+    pos_coupling = int((off > 0).sum())
+    return neg_diag, pos_coupling
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Summary of how well a matrix satisfies Properties 1-3."""
+
+    err2: float
+    err3: float
+    negative_diagonals: int
+    positive_couplings: int
+
+    @property
+    def reliable(self) -> bool:
+        """Strict reliability: all properties hold to double precision."""
+        return (
+            self.err2 <= 1e-12
+            and self.err3 <= 1e-12
+            and self.negative_diagonals == 0
+            and self.positive_couplings == 0
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Err2={self.err2:.2e} Err3={self.err3:.2e} "
+            f"neg_diag={self.negative_diagonals} pos_coupling={self.positive_couplings}"
+        )
+
+
+def check_properties(cap: CapacitanceMatrix) -> PropertyReport:
+    """Evaluate all property metrics for a capacitance matrix."""
+    neg, pos = sign_violations(cap)
+    return PropertyReport(
+        err2=asymmetry_error(cap),
+        err3=row_sum_error(cap),
+        negative_diagonals=neg,
+        positive_couplings=pos,
+    )
+
+
+def capacitance_error(
+    cap: CapacitanceMatrix, reference: np.ndarray, masters_only: bool = False
+) -> float:
+    """Err_cap (Eq. 17): weighted average relative error vs a reference.
+
+    ``reference`` is an ``(N, N)`` (or ``(Nm, N)``) matrix; the comparison
+    runs over the extracted rows.  Entries where both matrices are zero are
+    ignored implicitly (they contribute nothing to either sum).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    if reference.shape[0] == cap.n_conductors and reference.ndim == 2:
+        ref_rows = reference[cap.masters]
+    else:
+        ref_rows = reference
+    values = cap.values
+    if masters_only:
+        values = cap.master_block
+        ref_rows = ref_rows[:, cap.masters]
+    den = float(np.abs(ref_rows).sum())
+    if den == 0.0:
+        raise ValueError("reference matrix is identically zero")
+    return float(np.abs(values - ref_rows).sum() / den)

@@ -1,0 +1,44 @@
+"""Random number generation layer.
+
+Provides the counter-based Philox4x32-10 generator (implemented from
+scratch and validated against the Random123 known-answer vectors), per-walk
+stateless streams for fine-grained reseeding (Alg. 2), sequential streams for
+the Alg. 1 baseline, and a deliberately costly Mersenne-Twister adapter for
+the FRW-NC ablation.
+"""
+
+from .counter_stream import (
+    BLOCKS_PER_STEP,
+    DOMAIN_TAG,
+    MAX_DRAWS_PER_STEP,
+    SequentialStream,
+    WalkStreams,
+    encode_walk_uid,
+)
+from .mersenne import MTWalkStreams
+from .philox import (
+    PHILOX_ROUNDS,
+    derive_key,
+    philox4x32,
+    philox4x32_scalar,
+    splitmix64,
+    unit_double_scalar,
+    words_to_unit_double,
+)
+
+__all__ = [
+    "BLOCKS_PER_STEP",
+    "DOMAIN_TAG",
+    "MAX_DRAWS_PER_STEP",
+    "MTWalkStreams",
+    "PHILOX_ROUNDS",
+    "SequentialStream",
+    "WalkStreams",
+    "derive_key",
+    "encode_walk_uid",
+    "philox4x32",
+    "philox4x32_scalar",
+    "splitmix64",
+    "unit_double_scalar",
+    "words_to_unit_double",
+]

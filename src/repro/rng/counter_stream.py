@@ -1,0 +1,178 @@
+"""Per-walk counter streams built on Philox4x32-10.
+
+This is the library's realisation of the paper's *fine-grained reseeding*
+(Alg. 2, line 6): every walk owns a unique 64-bit walk UID, and the random
+draw ``slot`` of ``step`` of walk ``uid`` under global seed ``s`` is a pure
+function of ``(s, uid, step, slot)``.  Any thread — or vectorised batch — can
+therefore evaluate any walk and obtain bit-identical numbers, which is the
+whole basis of DOP-independent reproducibility.
+
+Counter layout (Philox4x32 counter words)::
+
+    c0 = block index within the walk  (= step * BLOCKS_PER_STEP + block)
+    c1 = walk UID, low 32 bits
+    c2 = walk UID, high 32 bits
+    c3 = domain separation tag
+
+Each Philox call yields 4 words = 2 doubles, so a step may consume up to
+``2 * BLOCKS_PER_STEP`` doubles.  The walk engine uses at most
+:data:`MAX_DRAWS_PER_STEP`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RNGError
+from .philox import (
+    derive_key,
+    philox4x32,
+    philox4x32_scalar,
+    unit_double_scalar,
+    words_to_unit_double,
+)
+
+#: Philox blocks reserved per walk step; 4 blocks = up to 8 doubles.
+BLOCKS_PER_STEP = 4
+
+#: Maximum uniform doubles a single walk step may request.
+MAX_DRAWS_PER_STEP = 2 * BLOCKS_PER_STEP
+
+#: Domain-separation tag placed in counter word c3 ("FRWR").
+DOMAIN_TAG = 0x46525752
+
+_MASK32 = 0xFFFFFFFF
+
+
+def encode_walk_uid(batch_index: int, walk_in_batch: int, batch_size: int) -> int:
+    """Encode the paper's walk ID ``(u, v)`` into a flat 64-bit UID.
+
+    ``uid = u * B + v`` exactly as suggested in Sec. III-B ("e.g., using
+    ``s + uB + v`` as a unique seed"); the global seed ``s`` enters through
+    the Philox key instead so that UIDs stay small and collision-free.
+    """
+    if walk_in_batch < 0 or walk_in_batch >= batch_size:
+        raise RNGError(
+            f"walk_in_batch {walk_in_batch} out of range for batch size {batch_size}"
+        )
+    if batch_index < 0:
+        raise RNGError(f"batch_index must be non-negative, got {batch_index}")
+    return batch_index * batch_size + walk_in_batch
+
+
+class WalkStreams:
+    """Stateless per-walk random streams keyed by a global seed.
+
+    Parameters
+    ----------
+    seed:
+        The user-level global seed ``s`` of Alg. 2.
+    stream:
+        Domain-separation stream tag; distinct tags (e.g. one per master
+        conductor in multi-level parallelism) give independent stream
+        families under the same seed.
+    """
+
+    def __init__(self, seed: int, stream: int = 0):
+        self.seed = int(seed)
+        self.stream = int(stream)
+        self._k0, self._k1 = derive_key(self.seed, self.stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WalkStreams(seed={self.seed}, stream={self.stream})"
+
+    def draws(self, uids: np.ndarray, step: int, count: int) -> np.ndarray:
+        """Return ``(len(uids), count)`` uniforms in [0, 1).
+
+        The result depends only on ``(seed, stream, uid, step, slot)`` — not
+        on the order or grouping of ``uids`` — so batched evaluation is
+        bit-identical to scalar evaluation.
+        """
+        if count < 1 or count > MAX_DRAWS_PER_STEP:
+            raise RNGError(
+                f"count must be in [1, {MAX_DRAWS_PER_STEP}], got {count}"
+            )
+        uids = np.asarray(uids, dtype=np.uint64)
+        n = uids.shape[0]
+        n_blocks = (count + 1) // 2
+        out = np.empty((n, 2 * n_blocks), dtype=np.float64)
+        c1 = (uids & np.uint64(_MASK32)).astype(np.uint32)
+        c2 = (uids >> np.uint64(32)).astype(np.uint32)
+        base_block = step * BLOCKS_PER_STEP
+        for j in range(n_blocks):
+            w0, w1, w2, w3 = philox4x32(
+                np.uint32(base_block + j),
+                c1,
+                c2,
+                np.uint32(DOMAIN_TAG),
+                np.uint32(self._k0),
+                np.uint32(self._k1),
+            )
+            out[:, 2 * j] = words_to_unit_double(w0, w1)
+            out[:, 2 * j + 1] = words_to_unit_double(w2, w3)
+        return out[:, :count]
+
+    def draws_scalar(self, uid: int, step: int, count: int) -> list[float]:
+        """Scalar reference path; bit-identical to :meth:`draws`."""
+        if count < 1 or count > MAX_DRAWS_PER_STEP:
+            raise RNGError(
+                f"count must be in [1, {MAX_DRAWS_PER_STEP}], got {count}"
+            )
+        values: list[float] = []
+        base_block = step * BLOCKS_PER_STEP
+        for j in range((count + 1) // 2):
+            w0, w1, w2, w3 = philox4x32_scalar(
+                (
+                    base_block + j,
+                    uid & _MASK32,
+                    (uid >> 32) & _MASK32,
+                    DOMAIN_TAG,
+                ),
+                (self._k0, self._k1),
+            )
+            values.append(unit_double_scalar(w0, w1))
+            values.append(unit_double_scalar(w2, w3))
+        return values[:count]
+
+
+class SequentialStream:
+    """A stateful sequential stream (classic PRNG interface) over Philox.
+
+    Used to model the *baseline* Alg. 1 of [1], where each thread owns one
+    private PRNG seeded once and consumed sequentially for all of its walks.
+    Such a stream is reproducible only if the thread's whole walk sequence is
+    reproduced — the root cause of Alg. 1's fixed-DOP-only reproducibility.
+    """
+
+    def __init__(self, seed: int, stream: int = 0):
+        self.seed = int(seed)
+        self.stream = int(stream)
+        self._k0, self._k1 = derive_key(self.seed, self.stream)
+        self._position = 0
+
+    def next_doubles(self, count: int) -> np.ndarray:
+        """Draw ``count`` uniforms, advancing the stream position."""
+        if count < 0:
+            raise RNGError(f"count must be non-negative, got {count}")
+        n_blocks = (count + 1) // 2
+        blocks = np.arange(
+            self._position, self._position + n_blocks, dtype=np.uint64
+        )
+        self._position += n_blocks
+        w0, w1, w2, w3 = philox4x32(
+            (blocks & np.uint64(_MASK32)).astype(np.uint32),
+            (blocks >> np.uint64(32)).astype(np.uint32),
+            np.uint32(0),
+            np.uint32(DOMAIN_TAG ^ 0x1),
+            np.uint32(self._k0),
+            np.uint32(self._k1),
+        )
+        out = np.empty(2 * n_blocks, dtype=np.float64)
+        out[0::2] = words_to_unit_double(w0, w1)
+        out[1::2] = words_to_unit_double(w2, w3)
+        return out[:count]
+
+    @property
+    def position(self) -> int:
+        """Number of Philox blocks consumed so far."""
+        return self._position

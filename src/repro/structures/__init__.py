@@ -1,0 +1,26 @@
+"""Deterministic workload generators for the paper's six test cases."""
+
+from .adc import adc_like, case4
+from .cases import CASES, CaseSpec, build_case, case_masters
+from .large import case6, large_grid
+from .parallel_wires import case1, case2, parallel_wires
+from .sram import case5, sram_like
+from .vco import case3, vco_like
+
+__all__ = [
+    "CASES",
+    "CaseSpec",
+    "adc_like",
+    "build_case",
+    "case1",
+    "case2",
+    "case3",
+    "case4",
+    "case5",
+    "case6",
+    "case_masters",
+    "large_grid",
+    "parallel_wires",
+    "sram_like",
+    "vco_like",
+]

@@ -1,0 +1,66 @@
+"""ADC-like mixed-signal structure (Table I case 4).
+
+A flash-ADC-flavoured layout: a resistor-ladder of tap bars, one comparator
+input stub per tap on a second layer, and a clock rail.  The ``paper``
+profile yields exactly 129 masters (64 taps + 64 stubs + 1 clock; N = 131
+with the ground plane and enclosure).
+"""
+
+from __future__ import annotations
+
+from ..geometry import Box, Conductor, DielectricStack, Structure
+
+
+def adc_like(n_taps: int = 64) -> Structure:
+    """Build the ADC-like structure with ``n_taps`` ladder taps."""
+    conductors: list[Conductor] = []
+    pitch = 2.0
+    bar_w = 0.9
+    bar_len = 14.0
+    z0, z1 = 2.0, 2.9  # ladder layer
+    sz0, sz1 = 4.6, 5.5  # comparator stub layer
+
+    for t in range(n_taps):
+        y = t * pitch
+        conductors.append(
+            Conductor.single(
+                f"tap{t + 1}",
+                Box.from_bounds(0.0, bar_len, y, y + bar_w, z0, z1),
+            )
+        )
+    for t in range(n_taps):
+        y = t * pitch + 0.15
+        conductors.append(
+            Conductor.single(
+                f"cmp{t + 1}",
+                Box.from_bounds(bar_len + 1.5, bar_len + 7.5, y, y + 0.6, sz0, sz1),
+            )
+        )
+    height = n_taps * pitch
+    conductors.append(
+        Conductor.single(
+            "clk",
+            Box.from_bounds(bar_len + 9.0, bar_len + 10.2, -2.0, height + 1.0, sz0, sz1),
+        )
+    )
+    n_masters = len(conductors)
+
+    conductors.append(
+        Conductor.single(
+            "gnd_plane",
+            Box.from_bounds(-2.0, bar_len + 12.0, -3.0, height + 2.0, 0.0, 0.7),
+        )
+    )
+    enclosure = Box.from_bounds(-8.0, bar_len + 18.0, -9.0, height + 8.0, -4.0, 11.0)
+    stack = DielectricStack(interfaces=(3.7,), eps=(3.9, 2.7))
+    structure = Structure(conductors, dielectric=stack, enclosure=enclosure)
+    structure.validate(min_gap=0.05)
+    assert len(structure.conductors) == n_masters + 1
+    return structure
+
+
+def case4(profile: str = "fast") -> Structure:
+    """Case 4: ADC design — Nm=129, N=131 at the ``paper`` profile."""
+    if profile == "paper":
+        return adc_like(n_taps=64)
+    return adc_like(n_taps=8)

@@ -1,0 +1,65 @@
+"""Registry of the Table I test cases with fast/paper profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..geometry import Structure
+from .adc import case4
+from .large import case6
+from .parallel_wires import case1, case2
+from .sram import case5
+from .vco import case3
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """A Table I row: builder, description, and the paper's reported sizes."""
+
+    number: int
+    description: str
+    builder: Callable[[str], Structure]
+    paper_nm: int
+    paper_n: int
+    paper_nc: int
+    #: Stopping tolerance the paper used for this case.
+    tolerance: float
+
+
+CASES: dict[int, CaseSpec] = {
+    1: CaseSpec(1, "Parallel-wire structure obtained from [5]", case1, 3, 4, 12, 1e-3),
+    2: CaseSpec(2, "Parallel-wire structure obtained from [5]", case2, 3, 4, 12, 1e-3),
+    3: CaseSpec(
+        3, "Voltage-controlled oscillator (VCO) design", case3, 38, 40, 866, 1e-2
+    ),
+    4: CaseSpec(
+        4, "Analog-to-digital converter (ADC) design", case4, 129, 131, 10335, 1e-2
+    ),
+    5: CaseSpec(
+        5, "Static random-access memory (SRAM) design", case5, 653, 657, 15778, 1e-2
+    ),
+    6: CaseSpec(6, "A large structure", case6, 48384, 48386, 926503, 1e-2),
+}
+
+
+def build_case(number: int, profile: str = "fast") -> Structure:
+    """Build one of the six Table I cases at the given profile."""
+    if number not in CASES:
+        raise KeyError(f"unknown case {number}; valid cases are 1-6")
+    return CASES[number].builder(profile)
+
+
+def case_masters(structure: Structure) -> list[int]:
+    """Master indices of a generated case: every conductor except the
+    trailing extras (ground planes / supply planes) and the enclosure.
+
+    Generators append non-master extras after the masters, and extras are
+    recognisable by name ("gnd_plane", "substrate", "vdd", "vss").
+    """
+    extras = {"gnd_plane", "substrate", "vdd", "vss"}
+    return [
+        idx
+        for idx, cond in enumerate(structure.conductors)
+        if cond.name not in extras
+    ]

@@ -1,0 +1,75 @@
+"""Parallel-wire test structures (Table I cases 1-2, after RWCap [5]).
+
+Classic bus patterns: parallel signal wires over a homogeneous or layered
+dielectric inside a grounded enclosure.  Case 1 is homogeneous; case 2 uses
+different wire dimensions and a two-layer stack.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Box, Conductor, DielectricStack, Structure
+
+
+def parallel_wires(
+    n_wires: int = 3,
+    width: float = 1.0,
+    spacing: float = 1.0,
+    thickness: float = 1.0,
+    length: float = 10.0,
+    z0: float = 1.5,
+    margin: float = 4.0,
+    dielectric: DielectricStack | None = None,
+) -> Structure:
+    """Build ``n_wires`` parallel wires along y, centred in the enclosure.
+
+    Wires are masters ``0..n_wires-1``; the grounded enclosure is the only
+    extra conductor, so ``N = n_wires + 1``.
+    """
+    wires = []
+    total_width = n_wires * width + (n_wires - 1) * spacing
+    x = -total_width / 2.0
+    for i in range(n_wires):
+        wires.append(
+            Conductor.single(
+                f"w{i + 1}",
+                Box.from_bounds(
+                    x, x + width, -length / 2.0, length / 2.0, z0, z0 + thickness
+                ),
+            )
+        )
+        x += width + spacing
+    enclosure = Box.from_bounds(
+        -total_width / 2.0 - margin,
+        total_width / 2.0 + margin,
+        -length / 2.0 - margin,
+        length / 2.0 + margin,
+        z0 - margin,
+        z0 + thickness + margin,
+    )
+    stack = dielectric if dielectric is not None else DielectricStack.homogeneous(1.0)
+    structure = Structure(wires, dielectric=stack, enclosure=enclosure)
+    structure.validate(min_gap=min(spacing, margin) * 0.5)
+    return structure
+
+
+def case1(profile: str = "fast") -> Structure:
+    """Case 1: three equal parallel wires, homogeneous dielectric."""
+    del profile  # geometry is small enough to be profile-independent
+    return parallel_wires(
+        n_wires=3, width=1.0, spacing=1.0, thickness=1.0, length=10.0
+    )
+
+
+def case2(profile: str = "fast") -> Structure:
+    """Case 2: three wider/thinner wires over a two-layer dielectric."""
+    del profile
+    stack = DielectricStack(interfaces=(1.07,), eps=(3.9, 2.7))
+    return parallel_wires(
+        n_wires=3,
+        width=1.4,
+        spacing=0.7,
+        thickness=0.7,
+        length=12.0,
+        z0=1.5,
+        dielectric=stack,
+    )

@@ -1,0 +1,94 @@
+"""SRAM-array structure (Table I case 5).
+
+A bitcell-array abstraction: wordlines crossing bitline pairs with one cell
+contact stub per (row, column) crossing, over supply planes.  Master count
+is ``rows + 2*cols + rows*cols``; with ``rows=3, cols=130`` this is exactly
+653 (the paper's case 5), and ``N = 657`` with the three supply planes
+(VDD, VSS, substrate) plus the enclosure.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Box, Conductor, DielectricStack, Structure
+
+
+def sram_like(rows: int = 3, cols: int = 130) -> Structure:
+    """Build the SRAM-like array with ``rows`` wordlines and ``cols`` bit
+    pairs."""
+    conductors: list[Conductor] = []
+    col_pitch = 2.4
+    row_pitch = 3.0
+    width = cols * col_pitch
+    height = rows * row_pitch
+
+    # Wordlines: long x-direction wires on metal 3.
+    for r in range(rows):
+        y = r * row_pitch
+        conductors.append(
+            Conductor.single(
+                f"wl{r + 1}",
+                Box.from_bounds(-1.0, width + 1.0, y, y + 0.8, 5.0, 5.8),
+            )
+        )
+    # Bitline pairs: y-direction wires on metal 2.
+    for c in range(cols):
+        x = c * col_pitch
+        conductors.append(
+            Conductor.single(
+                f"bl{c + 1}",
+                Box.from_bounds(x, x + 0.5, -1.5, height + 1.5, 2.6, 3.4),
+            )
+        )
+        conductors.append(
+            Conductor.single(
+                f"blb{c + 1}",
+                Box.from_bounds(x + 1.0, x + 1.5, -1.5, height + 1.5, 2.6, 3.4),
+            )
+        )
+    # Cell contact stubs on metal 1, one per crossing.
+    for r in range(rows):
+        for c in range(cols):
+            x = c * col_pitch + 1.75
+            y = r * row_pitch + 1.3
+            conductors.append(
+                Conductor.single(
+                    f"cell{r + 1}_{c + 1}",
+                    Box.from_bounds(x, x + 0.45, y, y + 0.9, 0.9, 1.6),
+                )
+            )
+    n_masters = len(conductors)
+
+    # Supply planes (extras): substrate below, VDD/VSS straps above.
+    conductors.append(
+        Conductor.single(
+            "substrate",
+            Box.from_bounds(-3.0, width + 3.0, -4.0, height + 4.0, -0.8, 0.0),
+        )
+    )
+    conductors.append(
+        Conductor.single(
+            "vdd",
+            Box.from_bounds(-3.0, width + 3.0, -3.5, -2.0, 7.4, 8.4),
+        )
+    )
+    conductors.append(
+        Conductor.single(
+            "vss",
+            Box.from_bounds(-3.0, width + 3.0, height + 2.0, height + 3.5, 7.4, 8.4),
+        )
+    )
+    enclosure = Box.from_bounds(
+        -9.0, width + 9.0, -10.0, height + 10.0, -5.0, 14.0
+    )
+    stack = DielectricStack(interfaces=(2.1, 4.3), eps=(3.9, 3.2, 2.7))
+    structure = Structure(conductors, dielectric=stack, enclosure=enclosure)
+    structure.validate(min_gap=0.02)
+    assert len(structure.conductors) == n_masters + 3
+    return structure
+
+
+def case5(profile: str = "fast") -> Structure:
+    """Case 5: SRAM design — Nm=653, N=657 at the ``paper`` profile."""
+    if profile == "paper":
+        return sram_like(rows=3, cols=130)
+    return sram_like(rows=2, cols=6)

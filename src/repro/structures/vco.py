@@ -1,0 +1,97 @@
+"""VCO-like analog structure (Table I case 3).
+
+A voltage-controlled-oscillator layout mixes an octagonal-ish spiral
+inductor (here rectilinear ring nets), a capacitor bank of interdigitated
+fingers, and supply/bias rails over a ground plane.  The ``paper`` profile
+produces exactly 38 master conductors (N = 40 with the ground plane and
+enclosure); ``fast`` shrinks the bank for quick experiments.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Box, Conductor, DielectricStack, Structure
+
+
+def _ring(name: str, cx: float, cy: float, half: float, width: float, z0: float, z1: float) -> Conductor:
+    """A square ring net (four overlapping segments) — one spiral turn."""
+    lo, hi = -half, half
+    return Conductor(
+        name,
+        (
+            Box.from_bounds(cx + lo, cx + hi, cy + lo, cy + lo + width, z0, z1),
+            Box.from_bounds(cx + lo, cx + hi, cy + hi - width, cy + hi, z0, z1),
+            Box.from_bounds(cx + lo, cx + lo + width, cy + lo, cy + hi, z0, z1),
+            Box.from_bounds(cx + hi - width, cx + hi, cy + lo, cy + hi, z0, z1),
+        ),
+    )
+
+
+def vco_like(n_fingers: int = 32, n_turns: int = 4, n_rails: int = 2) -> Structure:
+    """Build the VCO-like structure.
+
+    Masters: ``n_turns`` inductor rings + ``n_fingers`` capacitor-bank
+    fingers + ``n_rails`` supply rails.  A ground plane and the enclosure
+    complete the conductor set.
+    """
+    conductors: list[Conductor] = []
+    z0, z1 = 3.0, 4.0  # metal layer of rings/fingers/rails
+
+    # Spiral inductor: concentric ring nets on the left half.
+    ring_width = 1.0
+    for turn in range(n_turns):
+        half = 4.0 + 2.0 * turn
+        conductors.append(
+            _ring(f"ind{turn + 1}", -14.0, 0.0, half, ring_width, z0, z1)
+        )
+
+    # Capacitor bank: interdigitated fingers on the right half.
+    finger_w = 0.6
+    finger_pitch = 1.4
+    finger_len = 9.0
+    x_start = 2.0
+    for f in range(n_fingers):
+        x = x_start + f * finger_pitch
+        y_lo = -finger_len / 2.0 - (1.0 if f % 2 else 0.0)
+        y_hi = finger_len / 2.0 + (0.0 if f % 2 else 1.0)
+        conductors.append(
+            Conductor.single(
+                f"cap{f + 1}",
+                Box.from_bounds(x, x + finger_w, y_lo, y_hi, z0, z1),
+            )
+        )
+
+    # Supply rails spanning the die on a higher layer.
+    rail_z0, rail_z1 = 6.0, 7.2
+    x_right = x_start + n_fingers * finger_pitch
+    for r in range(n_rails):
+        y = -16.0 + r * 32.0 / max(1, n_rails - 1) if n_rails > 1 else 0.0
+        conductors.append(
+            Conductor.single(
+                f"rail{r + 1}",
+                Box.from_bounds(-24.0, x_right + 2.0, y - 1.0, y + 1.0, rail_z0, rail_z1),
+            )
+        )
+
+    n_masters = len(conductors)
+
+    # Ground plane below everything (an extra, non-master conductor).
+    conductors.append(
+        Conductor.single(
+            "gnd_plane",
+            Box.from_bounds(-26.0, x_right + 4.0, -19.0, 19.0, 0.0, 0.8),
+        )
+    )
+
+    enclosure = Box.from_bounds(-32.0, x_right + 10.0, -25.0, 25.0, -4.0, 13.0)
+    stack = DielectricStack(interfaces=(1.9, 5.1), eps=(3.9, 2.7, 3.2))
+    structure = Structure(conductors, dielectric=stack, enclosure=enclosure)
+    structure.validate(min_gap=0.05)
+    assert len(structure.conductors) == n_masters + 1
+    return structure
+
+
+def case3(profile: str = "fast") -> Structure:
+    """Case 3: VCO design — Nm=38, N=40 at the ``paper`` profile."""
+    if profile == "paper":
+        return vco_like(n_fingers=32, n_turns=4, n_rails=2)
+    return vco_like(n_fingers=6, n_turns=2, n_rails=2)

@@ -1,0 +1,42 @@
+"""Physical constants and unit helpers.
+
+The library works in a consistent unit system: lengths in **micrometres**
+and capacitances, by default, in **femtofarads**.  With lengths in metres and
+:data:`EPS0` in F/m, capacitances come out in farads; keeping lengths in um
+and using :data:`EPS0_FF_PER_UM` yields fF directly, which matches the
+magnitudes IC designers expect (wire-to-wire couplings of aF..fF).
+"""
+
+from __future__ import annotations
+
+#: Vacuum permittivity in F/m (CODATA 2018).
+EPS0 = 8.8541878128e-12
+
+#: Vacuum permittivity expressed in fF/um.  1 F/m = 1e15 fF / 1e6 um = 1e9
+#: fF/um, so EPS0_FF_PER_UM = EPS0 * 1e9.
+EPS0_FF_PER_UM = EPS0 * 1e9
+
+#: Common relative permittivities of IC dielectrics.
+ER_SIO2 = 3.9
+ER_LOW_K = 2.7
+ER_ULTRA_LOW_K = 2.2
+ER_SI3N4 = 7.5
+ER_AIR = 1.0
+
+MICRON = 1.0
+NANOMETER = 1.0e-3
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to the library's length unit (micrometres)."""
+    return value * NANOMETER
+
+
+def um(value: float) -> float:
+    """Identity helper for readability: lengths are already in micrometres."""
+    return value * MICRON
+
+
+def farad_to_ff(value: float) -> float:
+    """Convert farads to femtofarads."""
+    return value * 1.0e15

@@ -1,0 +1,42 @@
+"""Fast runs of the ablation sweeps, asserting their qualitative claims."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    absorption_sweep,
+    batch_size_sweep,
+    interface_snap_sweep,
+    table_resolution_sweep,
+)
+
+
+def test_batch_size_efficiency_improves_with_b():
+    record = batch_size_sweep(batch_sizes=(64, 512, 4096), threads=16)
+    effs = [float(r[3]) for r in record.rows]
+    assert effs[-1] > effs[0]
+    assert effs[-1] > 0.98  # B >> T: near-perfect utilisation
+
+
+def test_table_resolution_agrees_within_noise():
+    """Different table resolutions resample the same problem: estimates
+    must agree within Monte Carlo error (the discretisation bias is far
+    below the ~1-2% noise of this budget)."""
+    record = table_resolution_sweep(resolutions=(8, 16, 32), n_walks=20_000)
+    estimates = [float(r[1]) for r in record.rows]
+    spread = (max(estimates) - min(estimates)) / abs(estimates[-1])
+    assert spread < 0.08
+
+
+def test_absorption_tolerance_shortens_walks():
+    record = absorption_sweep(fractions=(2e-1, 2e-3), n_walks=15_000)
+    steps = [float(r[2]) for r in record.rows]
+    assert steps[0] < steps[1]  # loose shell -> earlier absorption
+
+
+def test_interface_snap_controls_step_count():
+    record = interface_snap_sweep(fractions=(0.02, 0.25), n_walks=8_000)
+    steps = [float(r[2]) for r in record.rows]
+    assert steps[1] < steps[0]  # earlier snapping -> fewer steps
+    c = [float(r[1]) for r in record.rows]
+    # Estimates stay within a few percent of each other (same walks budget).
+    assert abs(c[0] - c[1]) / abs(c[0]) < 0.1

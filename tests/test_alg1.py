@@ -1,0 +1,61 @@
+"""Tests for the Alg. 1 baseline scheme of [1]."""
+
+import numpy as np
+
+from repro import FRWConfig
+from repro.frw import build_context, extract_row_alg1
+from repro.numerics import matrix_matched_digits
+
+
+def run(structure, **overrides):
+    base = dict(
+        seed=31,
+        n_threads=4,
+        tolerance=5e-2,
+        min_walks=2000,
+        check_every=500,
+    )
+    base.update(overrides)
+    cfg = FRWConfig.alg1(**base)
+    ctx = build_context(structure, 0, cfg)
+    return extract_row_alg1(ctx)
+
+
+def test_converges(plates):
+    row, stats = run(plates)
+    assert stats.converged
+    # Merged error should be near the target eps (threads each hit
+    # eps*sqrt(T)).
+    assert row.self_relative_error < 8e-2
+    assert stats.walks > 0
+
+
+def test_fixed_dop_reproducible_up_to_merge_order(plates):
+    """Same T, different machines: only the merge order changes, so results
+    agree to many digits (the paper's RI 11-14 row)."""
+    a, _ = run(plates, machine_seed=0)
+    b, _ = run(plates, machine_seed=13)
+    digits = matrix_matched_digits(a.values, b.values)
+    assert digits >= 10
+
+
+def test_varied_dop_loses_reproducibility(plates):
+    """Different T: thread streams and error allocation change entirely, so
+    results differ at the level of the statistical error (RI ~ 0-2)."""
+    a, _ = run(plates, n_threads=2)
+    b, _ = run(plates, n_threads=8)
+    digits = matrix_matched_digits(a.values, b.values)
+    assert digits <= 4
+
+
+def test_same_machine_same_dop_bitwise(plates):
+    a, _ = run(plates, machine_seed=5)
+    b, _ = run(plates, machine_seed=5)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_thread_work_recorded(plates):
+    _, stats = run(plates)
+    assert stats.thread_work.shape == (4,)
+    assert np.all(stats.thread_work > 0)
+    assert stats.makespan == stats.thread_work.max()

@@ -1,0 +1,82 @@
+"""Tests for the CapacitanceMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix
+
+
+def sample():
+    return CapacitanceMatrix(
+        values=np.array([[2.0, -1.0, -1.0], [-1.0, 3.0, -2.0]]),
+        masters=[0, 1],
+        names=["a", "b", "ENV"],
+        sigma2=np.full((2, 3), 0.01),
+        hits=np.full((2, 3), 10, dtype=np.int64),
+        meta={"variant": "frw-r"},
+    )
+
+
+def test_shapes_validated():
+    with pytest.raises(ValueError):
+        CapacitanceMatrix(values=np.zeros((2, 3)), masters=[0], names=["a"] * 3)
+    with pytest.raises(ValueError):
+        CapacitanceMatrix(values=np.zeros((1, 3)), masters=[0], names=["a"] * 2)
+
+
+def test_accessors():
+    m = sample()
+    assert m.n_masters == 2
+    assert m.n_conductors == 3
+    assert np.array_equal(m.master_block, np.array([[2.0, -1.0], [-1.0, 3.0]]))
+    assert np.array_equal(m.row_for(1), np.array([-1.0, 3.0, -2.0]))
+    assert m.entry("a", "b") == -1.0
+    assert m.entry("b", "ENV") == -2.0
+
+
+def test_copy_is_deep():
+    m = sample()
+    c = m.copy()
+    c.values[0, 0] = 99.0
+    c.meta["extra"] = 1
+    assert m.values[0, 0] == 2.0
+    assert "extra" not in m.meta
+
+
+def test_roundtrip_json(tmp_path):
+    m = sample()
+    path = tmp_path / "cap.json"
+    m.save(path)
+    loaded = CapacitanceMatrix.load(path)
+    assert np.array_equal(loaded.values, m.values)
+    assert np.array_equal(loaded.sigma2, m.sigma2)
+    assert np.array_equal(loaded.hits, m.hits)
+    assert loaded.masters == m.masters
+    assert loaded.names == m.names
+    assert loaded.meta == m.meta
+
+
+def test_roundtrip_without_optionals(tmp_path):
+    m = CapacitanceMatrix(
+        values=np.eye(2), masters=[0, 1], names=["x", "y"]
+    )
+    path = tmp_path / "cap2.json"
+    m.save(path)
+    loaded = CapacitanceMatrix.load(path)
+    assert loaded.sigma2 is None
+    assert loaded.hits is None
+
+
+def test_pretty_renders():
+    text = sample().pretty()
+    assert "a" in text and "ENV" in text
+    assert "2.0000" in text
+
+
+def test_pretty_truncates_wide():
+    wide = CapacitanceMatrix(
+        values=np.zeros((1, 20)),
+        masters=[0],
+        names=[f"c{j}" for j in range(20)],
+    )
+    assert "more columns" in wide.pretty(max_cols=4)

@@ -1,0 +1,85 @@
+"""Tests for dense Cholesky / LDL^T kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericalError
+from repro.numerics import (
+    back_substitution,
+    cholesky,
+    forward_substitution,
+    ldlt,
+    solve_cholesky,
+)
+
+
+def random_spd(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+@pytest.mark.parametrize("n,seed", [(1, 0), (3, 1), (10, 2), (40, 3)])
+def test_cholesky_reconstructs(n, seed):
+    a = random_spd(n, seed)
+    lower = cholesky(a)
+    assert np.allclose(lower @ lower.T, a, atol=1e-9 * n)
+    assert np.allclose(np.triu(lower, k=1), 0.0)
+    assert np.all(np.diag(lower) > 0)
+
+
+def test_cholesky_matches_numpy():
+    a = random_spd(20, 7)
+    assert np.allclose(cholesky(a), np.linalg.cholesky(a))
+
+
+def test_cholesky_rejects_non_spd():
+    with pytest.raises(NumericalError):
+        cholesky(np.array([[1.0, 2.0], [2.0, 1.0]]))  # indefinite
+    with pytest.raises(NumericalError):
+        cholesky(np.array([[1.0, 0.5], [0.4, 1.0]]))  # asymmetric
+    with pytest.raises(NumericalError):
+        cholesky(np.zeros((2, 3)))  # not square
+
+
+def test_substitutions():
+    a = random_spd(15, 11)
+    lower = cholesky(a)
+    rng = np.random.default_rng(12)
+    b = rng.standard_normal(15)
+    y = forward_substitution(lower, b)
+    assert np.allclose(lower @ y, b)
+    x = back_substitution(lower.T, y)
+    assert np.allclose(lower.T @ x, y)
+
+
+@given(st.integers(1, 25), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_solve_cholesky_property(n, seed):
+    a = random_spd(n, seed)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal(n)
+    x = solve_cholesky(a, b)
+    assert np.allclose(a @ x, b, atol=1e-7 * n)
+
+
+def test_ldlt_reconstructs_indefinite():
+    a = np.array([[2.0, 1.0, 0.0], [1.0, -3.0, 0.5], [0.0, 0.5, 1.0]])
+    lower, d = ldlt(a)
+    assert np.allclose(lower @ np.diag(d) @ lower.T, a)
+    assert np.allclose(np.diag(lower), 1.0)
+    assert (d < 0).any()  # indefinite matrices are allowed
+
+
+def test_ldlt_matches_cholesky_for_spd():
+    a = random_spd(8, 21)
+    lower, d = ldlt(a)
+    chol = cholesky(a)
+    assert np.allclose(lower * np.sqrt(d), chol)
+
+
+def test_ldlt_rejects_zero_pivot():
+    with pytest.raises(NumericalError):
+        ldlt(np.zeros((2, 2)))

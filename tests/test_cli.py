@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "48384" in out
+    assert "SRAM" in out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_extract_case1(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out_file = tmp_path / "matrix.json"
+    code = main(
+        [
+            "extract",
+            "--case",
+            "1",
+            "--variant",
+            "frw-rr",
+            "--tolerance",
+            "0.05",
+            "--batch-size",
+            "1500",
+            "--threads",
+            "2",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "walks=" in out
+    assert "Err2=" in out
+    data = json.loads(out_file.read_text())
+    assert len(data["values"]) == 3  # three masters
+
+
+def test_extract_max_masters(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        [
+            "extract",
+            "--case",
+            "3",
+            "--variant",
+            "frw-r",
+            "--tolerance",
+            "0.2",
+            "--batch-size",
+            "1000",
+            "--max-masters",
+            "1",
+        ]
+    )
+    assert code == 0
+    assert "extracting 1 master(s)" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_case():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["extract", "--case", "9"])
+
+
+def test_parser_experiment_choices():
+    args = build_parser().parse_args(["experiment", "table1"])
+    assert args.name == "table1"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "table9"])

@@ -1,0 +1,48 @@
+"""Tests for solver configuration validation."""
+
+import pytest
+
+from repro import FRWConfig
+from repro.errors import ConfigError
+
+
+def test_defaults_valid():
+    cfg = FRWConfig()
+    assert cfg.variant == "frw-r"
+    assert cfg.rng == "philox"
+    assert not cfg.uses_regularization
+
+
+def test_named_constructors():
+    assert FRWConfig.alg1().variant == "alg1"
+    assert FRWConfig.alg1().summation == "naive"
+    assert FRWConfig.frw_nk().summation == "naive"
+    assert FRWConfig.frw_nc().rng == "mt"
+    assert FRWConfig.frw_r().summation == "kahan"
+    assert FRWConfig.frw_rr().uses_regularization
+
+
+def test_with_replaces_fields():
+    cfg = FRWConfig(seed=1).with_(seed=2, n_threads=8)
+    assert cfg.seed == 2
+    assert cfg.n_threads == 8
+    assert FRWConfig(seed=1).seed == 1  # frozen original untouched
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(variant="bogus"),
+        dict(rng="xorshift"),
+        dict(summation="pairwise"),
+        dict(n_threads=0),
+        dict(batch_size=0),
+        dict(tolerance=0.0),
+        dict(tolerance=1.5),
+        dict(min_walks=1),
+        dict(min_walks=100, max_walks=50),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        FRWConfig(**kwargs)

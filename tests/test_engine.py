@@ -1,0 +1,121 @@
+"""Tests for the vectorised walk engine."""
+
+import numpy as np
+import pytest
+
+from repro import FRWConfig
+from repro.frw import build_context, make_streams, run_walks
+from repro.rng import WalkStreams
+
+
+def ctx_for(structure, master=0, **overrides):
+    cfg = FRWConfig.frw_r(seed=11, **overrides)
+    return build_context(structure, master, cfg)
+
+
+def test_batched_equals_scalar_bitwise(plates):
+    """The reproducibility cornerstone: a walk's outcome is independent of
+    how it is batched — including running it alone."""
+    ctx = ctx_for(plates)
+    uids = np.arange(40, dtype=np.uint64)
+    batch = run_walks(ctx, WalkStreams(11, 0), uids)
+    for i in range(0, 40, 7):
+        single = run_walks(
+            ctx, WalkStreams(11, 0), np.array([uids[i]], dtype=np.uint64)
+        )
+        assert single.omega[0] == batch.omega[i]
+        assert single.dest[0] == batch.dest[i]
+        assert single.steps[0] == batch.steps[i]
+
+
+def test_batch_order_independence(plates):
+    ctx = ctx_for(plates)
+    uids = np.arange(64, dtype=np.uint64)
+    forward = run_walks(ctx, WalkStreams(11, 0), uids)
+    perm = np.random.default_rng(0).permutation(64)
+    shuffled = run_walks(ctx, WalkStreams(11, 0), uids[perm])
+    assert np.array_equal(shuffled.omega, forward.omega[perm])
+    assert np.array_equal(shuffled.dest, forward.dest[perm])
+
+
+def test_all_walks_terminate(plates):
+    ctx = ctx_for(plates)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(2000, dtype=np.uint64))
+    assert np.all(res.dest >= 0)
+    assert np.all(res.dest < plates.n_conductors)
+    assert np.all(res.steps >= 1)
+    assert res.truncated == 0
+
+
+def test_destinations_cover_all_conductors(plates):
+    ctx = ctx_for(plates)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(3000, dtype=np.uint64))
+    hit = np.bincount(res.dest, minlength=plates.n_conductors)
+    assert np.all(hit > 0)  # both plates and the enclosure are reachable
+
+
+def test_gauss_law_zero_mean_identity(plates):
+    """With all conductors at the same potential there is no field:
+    E[omega] = sum_j C_ij = 0."""
+    ctx = ctx_for(plates)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(50_000, dtype=np.uint64))
+    mean = res.omega.mean()
+    stderr = res.omega.std(ddof=1) / np.sqrt(res.omega.shape[0])
+    assert abs(mean) < 4 * stderr
+
+
+def test_self_capacitance_positive_coupling_negative(plates):
+    ctx = ctx_for(plates)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(30_000, dtype=np.uint64))
+    m = res.omega.shape[0]
+    c_self = res.omega[res.dest == 0].sum() / m
+    c_coupling = res.omega[res.dest == 1].sum() / m
+    c_env = res.omega[res.dest == 2].sum() / m
+    assert c_self > 0
+    assert c_coupling < 0
+    assert c_env < 0
+
+
+def test_seed_changes_results(plates):
+    ctx = ctx_for(plates)
+    uids = np.arange(100, dtype=np.uint64)
+    a = run_walks(ctx, WalkStreams(11, 0), uids)
+    b = run_walks(ctx, WalkStreams(12, 0), uids)
+    assert not np.array_equal(a.omega, b.omega)
+
+
+def test_mt_streams_supported(plates):
+    ctx = ctx_for(plates)
+    cfg = FRWConfig.frw_nc(seed=11)
+    streams = make_streams(cfg, 0)
+    res = run_walks(ctx, streams, np.arange(200, dtype=np.uint64))
+    assert np.all(res.dest >= 0)
+    # MT caches are released after the batch completes.
+    assert len(streams._states) == 0
+
+
+def test_layered_walks_cross_interfaces(layered_wires):
+    """Walks in a layered stack must reach conductors in other layers."""
+    ctx = ctx_for(layered_wires)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(5000, dtype=np.uint64))
+    hit = np.bincount(res.dest, minlength=layered_wires.n_conductors)
+    assert hit[1] > 0  # the wire in the other layer is reachable
+    assert res.truncated == 0
+
+
+def test_trace_records_paths(plates):
+    ctx = ctx_for(plates)
+    trace = []
+    run_walks(ctx, WalkStreams(11, 0), np.arange(5, dtype=np.uint64), trace=trace)
+    assert len(trace) >= 2
+    active0, pos0 = trace[0]
+    assert active0.shape[0] == 5
+    assert pos0.shape == (5, 3)
+
+
+def test_step_cap_truncates(plates):
+    ctx = ctx_for(plates, max_steps=2)
+    res = run_walks(ctx, WalkStreams(11, 0), np.arange(500, dtype=np.uint64))
+    assert res.truncated > 0
+    # Truncated walks are charged to the enclosure.
+    assert np.all(res.dest[res.steps > ctx.config.max_steps] == plates.enclosure_index)

@@ -1,0 +1,112 @@
+"""Tests for capacitance row accumulators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frw import RowAccumulator
+
+
+def reference_stats(omega, dest, n):
+    m = len(omega)
+    values = np.zeros(n)
+    sigma2 = np.zeros(n)
+    for j in range(n):
+        x = np.where(np.asarray(dest) == j, omega, 0.0)
+        values[j] = x.mean()
+        sigma2[j] = x.var(ddof=1) / m
+    return values, sigma2
+
+
+def test_row_matches_reference():
+    rng = np.random.default_rng(0)
+    n = 4
+    omega = rng.standard_normal(5000)
+    dest = rng.integers(0, n, 5000)
+    acc = RowAccumulator(n, master=0)
+    for w, d in zip(omega, dest):
+        acc.add_walk(float(w), int(d))
+    row = acc.row()
+    values, sigma2 = reference_stats(omega, dest, n)
+    assert np.allclose(row.values, values)
+    assert np.allclose(row.sigma2, sigma2, rtol=1e-9)
+    assert row.walks == 5000
+    assert row.hits.sum() == 5000
+
+
+def test_add_batch_matches_add_walk():
+    rng = np.random.default_rng(1)
+    omega = rng.standard_normal(1000)
+    dest = rng.integers(0, 3, 1000)
+    a = RowAccumulator(3, master=1)
+    b = RowAccumulator(3, master=1)
+    for w, d in zip(omega, dest):
+        a.add_walk(float(w), int(d))
+    b.add_batch(omega, dest, steps=np.ones(1000, dtype=np.int64))
+    assert np.allclose(a.row().values, b.row().values, rtol=0, atol=1e-15)
+    assert b.total_steps == 1000
+
+
+def test_merge_equivalence():
+    rng = np.random.default_rng(2)
+    omega = rng.standard_normal(600)
+    dest = rng.integers(0, 2, 600)
+    whole = RowAccumulator(2, master=0)
+    for w, d in zip(omega, dest):
+        whole.add_walk(float(w), int(d))
+    p1 = RowAccumulator(2, master=0)
+    p2 = RowAccumulator(2, master=0)
+    for w, d in zip(omega[:300], dest[:300]):
+        p1.add_walk(float(w), int(d))
+    for w, d in zip(omega[300:], dest[300:]):
+        p2.add_walk(float(w), int(d))
+    p1.merge(p2)
+    assert np.allclose(p1.row().values, whole.row().values, atol=1e-15)
+    assert p1.walks == whole.walks
+
+
+def test_kahan_vs_naive_summation_backends():
+    rng = np.random.default_rng(3)
+    omega = rng.standard_normal(2000) * 10.0 ** rng.integers(-5, 5, 2000)
+    dest = rng.integers(0, 2, 2000)
+    kahan = RowAccumulator(2, master=0, summation="kahan")
+    naive = RowAccumulator(2, master=0, summation="naive")
+    for w, d in zip(omega, dest):
+        kahan.add_walk(float(w), int(d))
+        naive.add_walk(float(w), int(d))
+    assert np.allclose(kahan.row().values, naive.row().values, rtol=1e-9)
+
+
+def test_empty_and_single_sample_rows():
+    acc = RowAccumulator(3, master=0)
+    row = acc.row()
+    assert np.all(row.values == 0)
+    assert np.all(np.isinf(row.sigma2))
+    assert acc.self_relative_error == math.inf
+    acc.add_walk(2.0, 0)
+    assert np.all(np.isinf(acc.row().sigma2))
+
+
+def test_self_relative_error_decreases():
+    rng = np.random.default_rng(4)
+    acc = RowAccumulator(2, master=0)
+    errs = []
+    for chunk in range(5):
+        omega = rng.standard_normal(2000) + 5.0
+        for w in omega:
+            acc.add_walk(float(w), 0)
+        errs.append(acc.self_relative_error)
+    assert errs == sorted(errs, reverse=True)
+    row = acc.row()
+    assert row.self_relative_error == pytest.approx(errs[-1])
+    assert row.self_capacitance == pytest.approx(5.0, rel=0.05)
+
+
+def test_spawn_copies_configuration():
+    acc = RowAccumulator(5, master=2, summation="naive")
+    child = acc.spawn()
+    assert child.n_conductors == 5
+    assert child.master == 2
+    assert child.summation == "naive"
+    assert child.walks == 0

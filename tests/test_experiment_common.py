@@ -1,0 +1,35 @@
+"""Tests for experiment infrastructure (records, stopwatch, environment)."""
+
+import time
+
+from repro.experiments import ExperimentRecord, Stopwatch, environment_info
+
+
+def test_record_roundtrip(tmp_path):
+    record = ExperimentRecord(
+        experiment="demo",
+        params={"x": 1},
+        headers=["a", "b"],
+        rows=[[1, "two"]],
+        notes=["note"],
+        elapsed_seconds=1.5,
+        environment=environment_info(),
+    )
+    path = record.save(tmp_path)
+    assert path.name == "demo.json"
+    loaded = ExperimentRecord.load("demo", tmp_path)
+    assert loaded.params == {"x": 1}
+    assert loaded.rows == [[1, "two"]]
+    assert loaded.notes == ["note"]
+    assert loaded.elapsed_seconds == 1.5
+
+
+def test_environment_info_fields():
+    env = environment_info()
+    assert {"platform", "python", "numpy", "timestamp"} <= set(env)
+
+
+def test_stopwatch():
+    with Stopwatch() as sw:
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.01

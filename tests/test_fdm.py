@@ -1,0 +1,134 @@
+"""Tests for the FDM reference field solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ConvergenceError
+from repro.fdm import FDMExtractor, build_grid, conjugate_gradient, solve_sparse
+from repro.geometry import Box, Conductor, DielectricStack, Structure
+from repro.units import EPS0_FF_PER_UM
+
+import scipy.sparse as sp
+
+
+def plate_structure(gap=0.5, eps_stack=None):
+    p1 = Conductor.single("P1", Box.from_bounds(-2, 2, -2, 2, 0.0, 0.25))
+    p2 = Conductor.single(
+        "P2", Box.from_bounds(-2, 2, -2, 2, 0.25 + gap, 0.5 + gap)
+    )
+    stack = eps_stack if eps_stack is not None else DielectricStack.homogeneous()
+    return Structure(
+        [p1, p2],
+        dielectric=stack,
+        enclosure=Box.from_bounds(-6, 6, -6, 6, -5, 6),
+    )
+
+
+def test_grid_rasterisation():
+    s = plate_structure()
+    grid = build_grid(s, 25)
+    assert grid.shape == (25, 25, 25)
+    # Boundary nodes belong to the enclosure.
+    assert np.all(grid.owner[0] == s.enclosure_index)
+    assert np.all(grid.owner[:, :, -1] == s.enclosure_index)
+    # Some interior nodes belong to each plate.
+    assert (grid.owner == 0).any() and (grid.owner == 1).any()
+
+
+def test_grid_resolution_validation():
+    with pytest.raises(ConfigError):
+        build_grid(plate_structure(), 2)
+
+
+def test_plate_capacitor_matches_ideal_with_fringing():
+    s = plate_structure()
+    sol = FDMExtractor(s, resolution=(49, 49, 45), method="cg").extract()
+    c = sol.capacitance
+    ideal = EPS0_FF_PER_UM * 16 / 0.5
+    coupling = -c[0, 1]
+    # Fringing adds capacitance: coupling must exceed the ideal value but
+    # stay within ~60% of it for these proportions.
+    assert ideal < coupling < 1.6 * ideal
+
+
+def test_capacitance_matrix_properties():
+    s = plate_structure()
+    sol = FDMExtractor(s, resolution=(25, 25, 23), method="direct").extract()
+    c = sol.capacitance
+    assert np.allclose(c, c.T, atol=1e-10 * np.abs(c).max())
+    assert np.allclose(c.sum(axis=1), 0.0, atol=1e-12)
+    assert np.all(np.diag(c) > 0)
+    off = c - np.diag(np.diag(c))
+    assert np.all(off <= 1e-12)
+
+
+def test_two_layer_dielectric_series_capacitance():
+    """Plates separated by two equal dielectric slabs: the coupling scales
+    like the series combination 2*e1*e2/(e1+e2) relative to vacuum."""
+    gap = 1.0
+    base = FDMExtractor(
+        plate_structure(gap=gap), resolution=(41, 41, 45), method="cg"
+    ).extract()
+    stack = DielectricStack(interfaces=(0.25 + gap / 2,), eps=(2.0, 6.0))
+    layered = FDMExtractor(
+        plate_structure(gap=gap, eps_stack=stack),
+        resolution=(41, 41, 45),
+        method="cg",
+    ).extract()
+    ratio = layered.capacitance[0, 1] / base.capacitance[0, 1]
+    series = 2 * 2.0 * 6.0 / (2.0 + 6.0)
+    # Fringing fields see other permittivities, so allow a loose band.
+    assert 0.7 * series < ratio < 1.2 * series
+
+
+def test_cg_matches_direct():
+    s = plate_structure()
+    ext = FDMExtractor(s, resolution=16)
+    b = np.zeros(ext.n_unknowns)
+    sel = ext._bc_owner == 0
+    np.add.at(b, ext._bc_rows[sel], ext._bc_coeff[sel])
+    x_direct = solve_sparse(ext._matrix, b, method="direct")
+    x_cg = conjugate_gradient(ext._matrix, b, tol=1e-12)
+    assert np.allclose(x_direct, x_cg, atol=1e-8)
+
+
+def test_cg_zero_rhs():
+    a = sp.eye(5, format="csr") * 2.0
+    assert np.array_equal(conjugate_gradient(a, np.zeros(5)), np.zeros(5))
+
+
+def test_cg_iteration_budget():
+    n = 50
+    a = sp.diags([-np.ones(n - 1), 2.5 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1], format="csr")
+    with pytest.raises(ConvergenceError):
+        conjugate_gradient(a, np.ones(n), tol=1e-14, max_iter=2)
+
+
+def test_cg_rejects_nonpositive_diagonal():
+    a = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, -1.0]]))
+    with pytest.raises(ConvergenceError):
+        conjugate_gradient(a, np.ones(2))
+
+
+def test_solve_sparse_unknown_method():
+    a = sp.eye(2, format="csr")
+    with pytest.raises(ValueError):
+        solve_sparse(a, np.ones(2), method="qr")
+
+
+def test_charges_conservation():
+    """Total induced charge balances the excited conductor's charge."""
+    s = plate_structure()
+    ext = FDMExtractor(s, resolution=(25, 25, 23), method="direct")
+    phi = ext.solve_excitation(0)
+    q = ext.charges(phi)
+    assert abs(q.sum()) < 1e-10 * np.abs(q).max()
+
+
+def test_unresolved_conductor_raises():
+    """Grids too coarse to see a conductor must fail loudly, not return
+    silent zero capacitance."""
+    thin = Conductor.single("thin", Box.from_bounds(-1, 1, -1, 1, 0.0, 0.01))
+    s = Structure([thin], enclosure=Box.from_bounds(-6, 6, -6, 6, -5, 6))
+    with pytest.raises(ConfigError):
+        build_grid(s, 8)

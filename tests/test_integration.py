@@ -1,0 +1,98 @@
+"""Cross-subsystem integration tests: FRW vs FDM vs physics.
+
+These are the accuracy anchors of the reproduction: the Monte Carlo engine,
+the Green's function tables, the Gaussian-surface flux estimator, and the
+FDM reference must all agree on real structures.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FDMExtractor, FRWConfig, FRWSolver
+from repro.reliability import capacitance_error
+from repro.structures import build_case, case_masters
+
+
+@pytest.fixture(scope="module")
+def plate_extraction(plates):
+    cfg = FRWConfig.frw_rr(
+        seed=1, n_threads=4, tolerance=1e-2, batch_size=10_000
+    )
+    return FRWSolver(plates, cfg).extract()
+
+
+def test_frw_matches_fdm_on_plates(plates, plate_extraction):
+    """FRW and a grid-converged FDM agree within combined error budgets."""
+    # Both grids keep the plate faces node-aligned (spacings 0.25 / 0.125),
+    # so the leading FDM error is h-proportional and Richardson applies.
+    coarse = FDMExtractor(plates, resolution=(49, 49, 45), method="cg").extract()
+    fine = FDMExtractor(plates, resolution=(97, 97, 89), method="cg").extract()
+    extrapolated = 2 * fine.capacitance - coarse.capacitance
+    err = capacitance_error(plate_extraction.matrix, extrapolated)
+    assert err < 0.04
+
+
+def test_frw_symmetric_couplings_on_plates(plate_extraction):
+    values = plate_extraction.matrix.values
+    assert values[0, 1] == values[1, 0]  # regularized: exact
+    assert values[0, 0] > 0 and values[0, 1] < 0
+
+
+def test_identical_plates_give_identical_self_capacitance(plate_extraction):
+    """The two plates are geometrically congruent: C11 ~ C22 within MC
+    error."""
+    v = plate_extraction.matrix.values
+    assert abs(v[0, 0] - v[1, 1]) / v[0, 0] < 0.05
+
+
+def test_three_wires_physics(three_wires):
+    """Middle wire couples equally to both neighbours; edge wires are
+    congruent."""
+    cfg = FRWConfig.frw_rr(seed=3, n_threads=4, tolerance=2e-2, batch_size=5000)
+    result = FRWSolver(three_wires, cfg).extract()
+    v = result.matrix.values
+    # Symmetry of the layout.
+    assert abs(v[0, 0] - v[2, 2]) / v[0, 0] < 0.08
+    assert abs(v[1, 0] - v[1, 2]) / abs(v[1, 0]) < 0.08
+    # Nearest-neighbour coupling dwarfs the far coupling.
+    assert abs(v[0, 1]) > 3 * abs(v[0, 2])
+
+
+def test_layered_dielectric_increases_coupling(layered_wires):
+    """Raising permittivity raises capacitance: the layered case couples
+    more strongly than the same geometry in vacuum."""
+    from repro.geometry import DielectricStack, Structure
+
+    vacuum = Structure(
+        list(layered_wires.conductors),
+        dielectric=DielectricStack.homogeneous(1.0),
+        enclosure=layered_wires.enclosure,
+    )
+    cfg = FRWConfig.frw_r(seed=5, tolerance=3e-2, batch_size=4000)
+    c_layered = FRWSolver(layered_wires, cfg).extract(masters=[0])
+    c_vacuum = FRWSolver(vacuum, cfg).extract(masters=[0])
+    assert (
+        c_layered.matrix.values[0, 0] > 1.5 * c_vacuum.matrix.values[0, 0]
+    )
+
+
+def test_layered_frw_matches_fdm(layered_wires):
+    """The interface transition (hemisphere step) is consistent with the
+    FDM's harmonic-mean stencil on a two-layer problem."""
+    cfg = FRWConfig.frw_rr(seed=7, n_threads=2, tolerance=2e-2, batch_size=8000)
+    frw = FRWSolver(layered_wires, cfg).extract()
+    fdm = FDMExtractor(layered_wires, resolution=(49, 57, 45), method="cg").extract()
+    err = capacitance_error(frw.matrix, fdm.capacitance)
+    assert err < 0.08  # FDM discretisation dominates this bound
+
+
+def test_case_extraction_end_to_end():
+    """A full generated case runs the whole pipeline and stays reliable."""
+    structure = build_case(4, "fast")
+    masters = case_masters(structure)
+    cfg = FRWConfig.frw_rr(seed=11, n_threads=8, tolerance=8e-2, batch_size=2000)
+    result = FRWSolver(structure, cfg).extract(masters[:4])
+    assert result.report.reliable
+    assert result.total_walks > 0
+    diag = [result.matrix.values[r, m] for r, m in enumerate(result.matrix.masters)]
+    assert all(d > 0 for d in diag)

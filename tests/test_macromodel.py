@@ -1,0 +1,96 @@
+"""Tests for macromodel realisability checks."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix, regularize
+from repro.reliability import macromodel_report
+
+
+def matrix(values, sigma=0.01):
+    values = np.asarray(values, dtype=np.float64)
+    nm = values.shape[0]
+    return CapacitanceMatrix(
+        values=values,
+        masters=list(range(nm)),
+        names=[f"c{j}" for j in range(values.shape[1])],
+        sigma2=np.full(values.shape, sigma**2),
+        hits=np.full(values.shape, 100, dtype=np.int64),
+    )
+
+
+def test_valid_matrix_is_realisable():
+    good = matrix(
+        [
+            [3.0, -1.0, -0.5, -1.5],
+            [-1.0, 4.0, -2.0, -1.0],
+            [-0.5, -2.0, 3.5, -1.0],
+        ]
+    )
+    report = macromodel_report(good)
+    assert report.realisable
+    assert report.min_eigenvalue >= 0
+    assert report.symmetric and report.signs_ok and report.diagonally_dominant
+
+
+def test_asymmetry_detected():
+    bad = matrix(
+        [
+            [3.0, -1.2, -1.8],
+            [-1.0, 3.0, -2.0],
+        ]
+    )
+    report = macromodel_report(bad)
+    assert not report.symmetric
+    assert not report.realisable
+
+
+def test_sign_violation_detected():
+    bad = matrix(
+        [
+            [3.0, 0.5, -3.5],
+            [0.5, 3.0, -3.5],
+        ]
+    )
+    report = macromodel_report(bad)
+    assert not report.signs_ok
+
+
+def test_dominance_violation_detected():
+    bad = matrix(
+        [
+            [1.0, -2.0, 1.0],
+            [-2.0, 1.0, 1.0],
+        ]
+    )
+    report = macromodel_report(bad)
+    assert not report.diagonally_dominant
+    assert report.min_eigenvalue < 0
+
+
+def test_raw_fails_regularized_passes():
+    """The paper's downstream motivation, end to end: noisy raw output is
+    not a valid macromodel; the Alg. 3 output is."""
+    rng = np.random.default_rng(0)
+    truth = np.array(
+        [
+            [2.0, -0.8, -0.6, -0.6],
+            [-0.8, 2.2, -0.9, -0.5],
+            [-0.6, -0.9, 2.1, -0.6],
+        ]
+    )
+    noisy = truth + 0.15 * rng.standard_normal(truth.shape)
+    obs = matrix(noisy, sigma=0.15)
+    assert not macromodel_report(obs).realisable
+    reg = regularize(obs)
+    assert macromodel_report(reg).realisable
+
+
+def test_tolerance_scales_with_matrix():
+    tiny = matrix(
+        [
+            [3e-18, -1e-18, -2e-18],
+            [-1e-18, 3e-18, -2e-18],
+        ]
+    )
+    assert macromodel_report(tiny).realisable

@@ -1,0 +1,156 @@
+"""Tests for two-layer cube transition tables (multi-dielectric GFTs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NumericalError
+from repro.greens import get_cube_table
+from repro.greens.cube_table import TRANSVERSE
+from repro.greens.multilayer import (
+    build_two_layer_table,
+    get_two_layer_table,
+    layer_split,
+)
+
+
+@pytest.fixture(scope="module")
+def homo_table():
+    return build_two_layer_table(2.0, 2.0, plane_index=12, grid_n=25, nf=8)
+
+
+@pytest.fixture(scope="module")
+def two_media_table():
+    return build_two_layer_table(1.0, 3.0, plane_index=12, grid_n=25, nf=8)
+
+
+def _cell_coords(table):
+    """Cell-centre coordinates (3, n_cells) on the unit cube."""
+    centers_a = (table.cell_i + 0.5) / table.nf
+    centers_b = (table.cell_j + 0.5) / table.nf
+    coords = np.zeros((3, table.n_cells))
+    for axis in range(3):
+        aligned = table.face_axis == axis
+        coords[axis, aligned] = table.face_side[aligned]
+        first = (
+            np.array([TRANSVERSE[a][0] for a in range(3)])[table.face_axis] == axis
+        )
+        side = ~aligned
+        coords[axis, side & first] = centers_a[side & first]
+        coords[axis, side & ~first] = centers_b[side & ~first]
+    return coords
+
+
+def test_probabilities_normalised(homo_table, two_media_table):
+    for t in (homo_table, two_media_table):
+        assert abs(t.prob.sum() - 1.0) < 1e-10
+        assert t.prob.min() >= 0.0
+        assert np.all(np.diff(t.cdf) >= -1e-15)
+
+
+def test_homogeneous_limit_matches_series_table(homo_table):
+    """With equal permittivities the FD table must converge to the exact
+    eigenseries table (discretisation-level agreement at g=25)."""
+    ref = get_cube_table(8)
+    assert np.abs(homo_table.prob - ref.prob).max() < 1e-3
+    for axis in range(3):
+        rel = np.abs(homo_table.grad_ratio[axis] - ref.grad_ratio[axis]).max()
+        assert rel / np.abs(ref.grad_ratio[axis]).max() < 0.08
+
+
+def test_grid_refinement_converges_to_exact_cell_averages():
+    """The FD measure aggregates node mass into cells, i.e. approximates the
+    *cell-averaged* kernel; refining the FD grid must converge to the exact
+    cell averages of the eigenseries kernel (not to the series table's
+    cell-centre samples)."""
+    from repro.greens import poisson_kernel_face
+
+    nf = 4
+    sub = 32
+    fine_x = (np.arange(nf * sub) + 0.5) / (nf * sub)
+    k_fine = poisson_kernel_face(fine_x, fine_x)
+    cell_avg = k_fine.reshape(nf, sub, nf, sub).mean(axis=(1, 3)) / (nf * nf)
+    exact = np.tile(cell_avg.ravel(), 6)
+    exact /= exact.sum()
+    coarse = build_two_layer_table(1.0, 1.0, plane_index=4, grid_n=9, nf=nf)
+    fine = build_two_layer_table(1.0, 1.0, plane_index=18, grid_n=37, nf=nf)
+    err_coarse = np.abs(coarse.prob - exact).max()
+    err_fine = np.abs(fine.prob - exact).max()
+    assert err_fine < err_coarse
+    assert err_fine < 5e-4
+
+
+def test_layer_split_follows_eps_weighting(two_media_table):
+    """Centre on the interface: mass splits ~ eps_above : eps_below."""
+    below, above = layer_split(two_media_table, 0.5)
+    assert abs(below - 0.25) < 0.02
+    assert abs(above - 0.75) < 0.02
+
+
+def test_constant_field_response_zero(two_media_table):
+    for axis in range(3):
+        response = float(
+            (two_media_table.prob * two_media_table.grad_ratio[axis]).sum()
+        )
+        assert abs(response) < 1e-12
+
+
+def test_tangential_linear_fields_exact(two_media_table):
+    """phi = x and phi = y are exact two-media solutions; the calibrated
+    kernels reproduce their unit gradients."""
+    coords = _cell_coords(two_media_table)
+    for axis in (0, 1):
+        response = float(
+            (
+                two_media_table.prob
+                * two_media_table.grad_ratio[axis]
+                * (coords[axis] - 0.5)
+            ).sum()
+        )
+        assert abs(response - 1.0) < 1e-10
+
+
+def test_normal_flux_calibration(two_media_table):
+    """eps_center * E[g_z/q * phi_c] = 1 for the unit-flux solution."""
+    coords = _cell_coords(two_media_table)
+    a = 0.5
+    eps_b, eps_a = 1.0, 3.0
+    phi = np.where(
+        coords[2] >= a, (coords[2] - a) / eps_a, (coords[2] - a) / eps_b
+    )
+    eps_center = 0.5 * (eps_b + eps_a)
+    response = eps_center * float(
+        (two_media_table.prob * two_media_table.grad_ratio[2] * phi).sum()
+    )
+    assert abs(response - 1.0) < 1e-10
+
+
+def test_harmonic_expectation_identity():
+    """E[phi(p)] = phi(center) for a two-media harmonic test field with the
+    interface off-centre."""
+    eps_b, eps_a = 2.0, 5.0
+    plane = 18  # a = 0.75 on a g=25 grid
+    table = build_two_layer_table(eps_b, eps_a, plane_index=plane, grid_n=25, nf=8)
+    coords = _cell_coords(table)
+    a = plane / 24.0
+    # Flux-continuous field phi = (z-a)/eps: phi(center) = (0.5-a)/eps_b.
+    phi = np.where(
+        coords[2] >= a, (coords[2] - a) / eps_a, (coords[2] - a) / eps_b
+    )
+    expected = (0.5 - a) / eps_b
+    measured = float((table.prob * phi).sum())
+    assert abs(measured - expected) < 2e-3  # FD discretisation level
+    # phi = x - 1/2 is harmonic with phi(center) = 0 in any layering.
+    measured_x = float((table.prob * (coords[0] - 0.5)).sum())
+    assert abs(measured_x) < 1e-10
+
+
+def test_cache_and_validation():
+    assert get_two_layer_table(1.0, 2.0, 12) is get_two_layer_table(1.0, 2.0, 12)
+    with pytest.raises(NumericalError):
+        build_two_layer_table(1.0, 2.0, plane_index=0)  # boundary plane
+    with pytest.raises(NumericalError):
+        build_two_layer_table(1.0, 2.0, plane_index=5, grid_n=24)  # even grid
+    with pytest.raises(NumericalError):
+        build_two_layer_table(1.0, 2.0, plane_index=5, grid_n=25, nf=7)
+    with pytest.raises(NumericalError):
+        build_two_layer_table(-1.0, 2.0, plane_index=12)

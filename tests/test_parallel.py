@@ -1,0 +1,59 @@
+"""Tests for the real thread-pool walk executor."""
+
+import numpy as np
+
+from repro import FRWConfig
+from repro.frw import build_context, run_walks, run_walks_parallel
+from repro.rng import WalkStreams
+
+
+def test_parallel_matches_serial_bitwise(plates):
+    ctx = build_context(plates, 0, FRWConfig.frw_r(seed=77))
+    uids = np.arange(2000, dtype=np.uint64)
+    serial = run_walks(ctx, WalkStreams(77, 0), uids)
+    parallel = run_walks_parallel(
+        ctx, lambda: WalkStreams(77, 0), uids, n_workers=4
+    )
+    assert np.array_equal(serial.omega, parallel.omega)
+    assert np.array_equal(serial.dest, parallel.dest)
+    assert np.array_equal(serial.steps, parallel.steps)
+    assert serial.truncated == parallel.truncated
+
+
+def test_parallel_chunk_size_irrelevant(plates):
+    ctx = build_context(plates, 0, FRWConfig.frw_r(seed=77))
+    uids = np.arange(501, dtype=np.uint64)  # odd size: ragged chunks
+    a = run_walks_parallel(ctx, lambda: WalkStreams(77, 0), uids, 3, chunk_size=64)
+    b = run_walks_parallel(ctx, lambda: WalkStreams(77, 0), uids, 2, chunk_size=200)
+    assert np.array_equal(a.omega, b.omega)
+    assert np.array_equal(a.dest, b.dest)
+
+
+def test_single_worker_shortcut(plates):
+    ctx = build_context(plates, 0, FRWConfig.frw_r(seed=77))
+    uids = np.arange(100, dtype=np.uint64)
+    res = run_walks_parallel(ctx, lambda: WalkStreams(77, 0), uids, 1)
+    ref = run_walks(ctx, WalkStreams(77, 0), uids)
+    assert np.array_equal(res.omega, ref.omega)
+
+
+def test_process_pool_matches_serial(plates):
+    """The distributed-memory backend: bit-identical to the serial engine."""
+    from repro.frw import run_walks_processes
+
+    ctx = build_context(plates, 0, FRWConfig.frw_r(seed=77))
+    uids = np.arange(600, dtype=np.uint64)
+    serial = run_walks(ctx, WalkStreams(77, 0), uids)
+    procs = run_walks_processes(ctx, 77, 0, uids, n_workers=2, chunk_size=150)
+    assert np.array_equal(serial.omega, procs.omega)
+    assert np.array_equal(serial.dest, procs.dest)
+
+
+def test_process_pool_single_worker_shortcut(plates):
+    from repro.frw import run_walks_processes
+
+    ctx = build_context(plates, 0, FRWConfig.frw_r(seed=77))
+    uids = np.arange(50, dtype=np.uint64)
+    res = run_walks_processes(ctx, 77, 0, uids, n_workers=1)
+    ref = run_walks(ctx, WalkStreams(77, 0), uids)
+    assert np.array_equal(res.omega, ref.omega)

@@ -1,0 +1,105 @@
+"""Tests for property metrics (Err2, Err3, Err_cap, sign checks)."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix
+from repro.reliability import (
+    asymmetry_error,
+    capacitance_error,
+    check_properties,
+    row_sum_error,
+    sign_violations,
+)
+
+
+def matrix(values, nm=None):
+    values = np.asarray(values, dtype=np.float64)
+    nm = values.shape[0] if nm is None else nm
+    return CapacitanceMatrix(
+        values=values,
+        masters=list(range(values.shape[0])),
+        names=[f"c{j}" for j in range(values.shape[1])],
+    )
+
+
+def test_err2_hand_computed():
+    values = np.array(
+        [
+            [2.0, -1.0, -1.0],
+            [-1.2, 3.0, -1.8],
+        ]
+    )
+    # Upper-triangle master pairs: only (0,1): |(-1.0) - (-1.2)| / |-1.0|
+    assert asymmetry_error(matrix(values)) == pytest.approx(0.2)
+
+
+def test_err2_symmetric_is_zero():
+    values = np.array([[2.0, -1.0, -1.0], [-1.0, 3.0, -2.0]])
+    assert asymmetry_error(matrix(values)) == 0.0
+
+
+def test_err2_single_master():
+    assert asymmetry_error(matrix(np.array([[1.0, -1.0]]))) == 0.0
+
+
+def test_err3_hand_computed():
+    values = np.array(
+        [
+            [2.0, -1.0, -0.9],  # row sum 0.1
+            [-1.0, 3.0, -2.0],  # row sum 0.0
+        ]
+    )
+    assert row_sum_error(matrix(values)) == pytest.approx(0.1 / 5.0)
+
+
+def test_sign_violations():
+    values = np.array(
+        [
+            [-2.0, 0.5, -1.0],
+            [-1.0, 3.0, -2.0],
+        ]
+    )
+    neg, pos = sign_violations(matrix(values))
+    assert neg == 1
+    assert pos == 1
+
+
+def test_check_properties_reliable_flag():
+    good = np.array([[2.0, -1.0, -1.0], [-1.0, 2.0, -1.0]])
+    assert check_properties(matrix(good)).reliable
+    bad = good.copy()
+    bad[0, 1] = -1.01
+    assert not check_properties(matrix(bad)).reliable
+
+
+def test_capacitance_error_against_full_reference():
+    ref = np.array(
+        [
+            [2.0, -1.0, -1.0],
+            [-1.0, 3.0, -2.0],
+            [-1.0, -2.0, 3.0],
+        ]
+    )
+    ours = matrix(ref[:2] * 1.1)  # uniform 10% error on two extracted rows
+    assert capacitance_error(ours, ref) == pytest.approx(0.1)
+
+
+def test_capacitance_error_masters_only():
+    ref = np.array(
+        [
+            [2.0, -1.0, -1.0],
+            [-1.0, 3.0, -2.0],
+            [-1.0, -2.0, 3.0],
+        ]
+    )
+    values = ref[:2].copy()
+    values[:, 2] *= 100.0  # huge error confined to a non-master column
+    ours = matrix(values)
+    assert capacitance_error(ours, ref, masters_only=True) == pytest.approx(0.0)
+    assert capacitance_error(ours, ref) > 1.0
+
+
+def test_capacitance_error_zero_reference():
+    with pytest.raises(ValueError):
+        capacitance_error(matrix(np.zeros((1, 2))), np.zeros((2, 2)))

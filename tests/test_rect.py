@@ -1,0 +1,93 @@
+"""Tests for 2-D rectilinear boolean operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Rect, subtract_many, subtract_one, total_area, union_area
+
+coord = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+size = st.floats(0.1, 20, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x0 = draw(coord)
+    y0 = draw(coord)
+    return Rect(x0, x0 + draw(size), y0, y0 + draw(size))
+
+
+def test_degenerate_rejected():
+    with pytest.raises(GeometryError):
+        Rect(0, 0, 0, 1)
+    with pytest.raises(GeometryError):
+        Rect(0, 1, 1, 0)
+
+
+def test_area_and_intersection():
+    r = Rect(0, 2, 0, 3)
+    assert r.area == 6.0
+    assert r.intersection(Rect(1, 4, 1, 5)) == Rect(1, 2, 1, 3)
+    assert r.intersection(Rect(2, 4, 0, 3)) is None  # touching edges
+    assert r.intersects(Rect(1.9, 4, 2.9, 5))
+    assert not r.intersects(Rect(2, 4, 0, 3))
+
+
+def test_contains_point():
+    r = Rect(0, 1, 0, 1)
+    assert r.contains_point(0.5, 0.5)
+    assert r.contains_point(0.0, 1.0)
+    assert not r.contains_point(1.01, 0.5)
+    assert r.contains_point(1.01, 0.5, tol=0.02)
+
+
+def test_subtract_one_hole_inside():
+    pieces = subtract_one(Rect(0, 10, 0, 10), Rect(4, 6, 4, 6))
+    assert len(pieces) == 4
+    assert abs(total_area(pieces) - (100 - 4)) < 1e-12
+    # Disjointness
+    for i, a in enumerate(pieces):
+        for b in pieces[i + 1 :]:
+            assert not a.intersects(b)
+
+
+def test_subtract_one_no_overlap():
+    r = Rect(0, 1, 0, 1)
+    assert subtract_one(r, Rect(5, 6, 5, 6)) == [r]
+
+
+def test_subtract_one_full_cover():
+    assert subtract_one(Rect(0, 1, 0, 1), Rect(-1, 2, -1, 2)) == []
+
+
+def test_subtract_one_partial_edge():
+    pieces = subtract_one(Rect(0, 10, 0, 10), Rect(-1, 3, -1, 11))
+    assert total_area(pieces) == 70.0
+
+
+@given(rects(), st.lists(rects(), max_size=6))
+@settings(max_examples=100)
+def test_subtract_many_area_identity(rect, holes):
+    """area(rect \\ holes) + area(rect & union(holes)) == area(rect)."""
+    remaining = subtract_many(rect, holes)
+    # Pieces are disjoint and inside rect.
+    for i, a in enumerate(remaining):
+        assert rect.intersection(a) == a
+        for b in remaining[i + 1 :]:
+            assert not a.intersects(b)
+        for hole in holes:
+            assert not a.intersects(hole)
+    clipped = [h.intersection(rect) for h in holes]
+    covered = union_area([c for c in clipped if c is not None])
+    assert abs(total_area(remaining) + covered - rect.area) < 1e-9
+
+
+def test_union_area_overlapping():
+    # A(0..2) and B(1..3) tile [0,3]x[0,2] entirely; C adds nothing new.
+    rects_ = [Rect(0, 2, 0, 2), Rect(1, 3, 0, 2), Rect(0, 3, 1, 2)]
+    assert abs(union_area(rects_) - 6.0) < 1e-12
+
+def test_union_area_disjoint():
+    assert union_area([Rect(0, 1, 0, 1), Rect(2, 3, 2, 3)]) == 2.0
+    assert union_area([]) == 0.0

@@ -1,0 +1,198 @@
+"""Tests for the Alg. 3 constrained-MLE regularization."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix, regularize
+from repro.errors import RegularizationError
+from repro.reliability import check_properties
+
+
+def synthetic_truth(nm: int, n: int, seed: int) -> np.ndarray:
+    """A physically valid Nm x N block: symmetric master part, non-positive
+    couplings, zero row sums closed by the last column."""
+    rng = np.random.default_rng(seed)
+    coupling = -rng.uniform(0.1, 2.0, (nm, n))
+    coupling = np.triu(coupling, k=1)
+    block = coupling[:, :nm]
+    sym = block + block.T
+    full = np.concatenate([sym, coupling[:, nm:]], axis=1)
+    for i in range(nm):
+        full[i, i] = -(full[i].sum() - full[i, i])
+    return full
+
+
+def observe(truth: np.ndarray, noise: float, seed: int) -> CapacitanceMatrix:
+    rng = np.random.default_rng(seed)
+    nm, n = truth.shape
+    sigma = noise * np.abs(truth) + noise * 0.05
+    values = truth + sigma * rng.standard_normal((nm, n))
+    return CapacitanceMatrix(
+        values=values,
+        masters=list(range(nm)),
+        names=[f"c{j}" for j in range(n)],
+        sigma2=sigma**2,
+        hits=np.full((nm, n), 100, dtype=np.int64),
+    )
+
+
+def test_output_is_reliable():
+    truth = synthetic_truth(6, 8, 0)
+    obs = observe(truth, 0.05, 1)
+    raw_report = check_properties(obs)
+    assert raw_report.err2 > 1e-6  # the observation genuinely violates
+    reg = regularize(obs)
+    report = check_properties(reg)
+    assert report.reliable
+    assert report.err2 == 0.0
+    assert report.err3 < 1e-12
+
+
+def test_improves_accuracy_on_average():
+    """Constrained estimation has a lower variance bound: across many noisy
+    observations the regularized estimate should beat the raw one."""
+    truth = synthetic_truth(5, 7, 2)
+    raw_err = reg_err = 0.0
+    for trial in range(30):
+        obs = observe(truth, 0.08, 100 + trial)
+        reg = regularize(obs)
+        raw_err += np.abs(obs.values - truth).sum()
+        reg_err += np.abs(reg.values - truth).sum()
+    assert reg_err < raw_err
+
+
+def test_unbiasedness():
+    """E[C*] = C: the estimator is linear with data-independent weights."""
+    truth = synthetic_truth(4, 5, 3)
+    total = np.zeros_like(truth)
+    trials = 300
+    for trial in range(trials):
+        obs = observe(truth, 0.1, 500 + trial)
+        total += regularize(obs).values
+    mean = total / trials
+    scale = np.abs(truth).max()
+    # Mean error shrinks ~1/sqrt(trials) of the per-trial noise.
+    assert np.abs(mean - truth).max() < 0.05 * scale
+
+
+def test_exact_input_is_fixed_point():
+    truth = synthetic_truth(5, 6, 4)
+    obs = observe(truth, 0.0, 5)
+    obs.values = truth.copy()
+    reg = regularize(obs)
+    assert np.allclose(reg.values, truth, atol=1e-10)
+
+
+def test_never_hit_entries_stay_zero():
+    truth = synthetic_truth(4, 6, 6)
+    obs = observe(truth, 0.05, 7)
+    obs.values[0, 3] = 0.0
+    obs.values[3, 0] = 0.0
+    obs.hits[0, 3] = 0
+    obs.hits[3, 0] = 0
+    obs.sigma2[0, 3] = 0.0
+    reg = regularize(obs)
+    assert reg.values[0, 3] == 0.0
+    assert reg.values[3, 0] == 0.0
+    assert check_properties(reg).reliable
+
+
+def test_one_sided_zero_excludes_pair():
+    """Paper: ignore zeros *and their symmetric positions*."""
+    truth = synthetic_truth(4, 5, 8)
+    obs = observe(truth, 0.05, 9)
+    obs.hits[1, 2] = 0
+    obs.values[1, 2] = 0.0
+    reg = regularize(obs)
+    assert reg.values[1, 2] == 0.0
+    assert reg.values[2, 1] == 0.0
+
+
+def test_positive_couplings_folded_into_diagonal():
+    truth = synthetic_truth(3, 4, 10)
+    obs = observe(truth, 0.01, 11)
+    # Force a positive coupling pair with tiny variance so it survives MLE.
+    obs.values[0, 1] = 0.5
+    obs.values[1, 0] = 0.5
+    obs.sigma2[0, 1] = 1e-8
+    obs.sigma2[1, 0] = 1e-8
+    reg = regularize(obs)
+    report = check_properties(reg)
+    assert report.positive_couplings == 0
+    assert report.err3 < 1e-12  # folding preserved the row sums
+    assert reg.meta["positive_couplings_folded"] > 0
+
+
+def test_dense_and_sparse_solvers_agree():
+    truth = synthetic_truth(8, 10, 12)
+    obs = observe(truth, 0.07, 13)
+    dense = regularize(obs, solver="dense")
+    sparse = regularize(obs, solver="sparse")
+    assert np.allclose(dense.values, sparse.values, atol=1e-9)
+
+
+def test_diagonal_weight_pins_self_capacitance():
+    truth = synthetic_truth(5, 6, 14)
+    obs = observe(truth, 0.1, 15)
+    plain = regularize(obs)
+    pinned = regularize(obs, diagonal_weight=1e6)
+    diag = np.arange(5)
+    move_plain = np.abs(plain.values[diag, diag] - obs.values[diag, diag]).sum()
+    move_pinned = np.abs(pinned.values[diag, diag] - obs.values[diag, diag]).sum()
+    assert move_pinned < move_plain
+    assert check_properties(pinned).reliable
+
+
+def test_input_validation():
+    truth = synthetic_truth(3, 4, 16)
+    obs = observe(truth, 0.05, 17)
+    no_sigma = obs.copy()
+    no_sigma.sigma2 = None
+    with pytest.raises(RegularizationError):
+        regularize(no_sigma)
+    bad_masters = obs.copy()
+    bad_masters.masters = [0, 0, 2]
+    with pytest.raises(RegularizationError):
+        regularize(bad_masters)
+    with pytest.raises(RegularizationError):
+        regularize(obs, diagonal_weight=0.0)
+    with pytest.raises(RegularizationError):
+        regularize(obs, solver="qr")
+    no_self = obs.copy()
+    no_self.hits = obs.hits.copy()
+    no_self.hits[0, 0] = 0
+    with pytest.raises(RegularizationError):
+        regularize(no_self)
+
+
+def test_preserves_raw_matrix():
+    truth = synthetic_truth(4, 5, 18)
+    obs = observe(truth, 0.05, 19)
+    before = obs.values.copy()
+    regularize(obs)
+    assert np.array_equal(obs.values, before)
+
+
+def test_meta_recorded():
+    truth = synthetic_truth(3, 4, 20)
+    reg = regularize(observe(truth, 0.05, 21))
+    assert reg.meta["regularized"] is True
+    assert reg.meta["n_variables"] > 0
+
+
+def test_subset_masters_supported():
+    """Extracting a master subset (e.g. two nets of interest) regularizes
+    fine: symmetry applies within the subset, everything else is single."""
+    truth = synthetic_truth(4, 6, 30)
+    obs = observe(truth, 0.05, 31)
+    subset = CapacitanceMatrix(
+        values=obs.values[[1, 3]],
+        masters=[1, 3],
+        names=obs.names,
+        sigma2=obs.sigma2[[1, 3]],
+        hits=obs.hits[[1, 3]],
+    )
+    reg = regularize(subset)
+    # Symmetry within the subset and exact row sums.
+    assert reg.values[0, 3] == reg.values[1, 1]
+    assert np.abs(reg.values.sum(axis=1)).max() < 1e-12 * np.abs(truth).max()

@@ -1,0 +1,81 @@
+"""Tests for the EXPERIMENTS.md report generator and table rendering."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import format_scientific, format_seconds, format_table
+from repro.experiments import ExperimentRecord
+from repro.experiments.report import render_table2_comparison, write_experiments_md
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(l) == len(lines[1]) for l in lines[1:])
+    assert "333" in text
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(5e-7).endswith("us")
+    assert format_seconds(0.005).endswith("ms")
+    assert format_seconds(1.5) == "1.50s"
+    assert format_seconds(250.0) == "250s"
+
+
+def test_format_scientific():
+    assert format_scientific(0.0) == "0"
+    assert format_scientific(0.05) == "5.00%"
+    assert format_scientific(2e-16) == "2e-16"
+
+
+def _fake_records(directory: Path) -> None:
+    ExperimentRecord(
+        experiment="table1_fast",
+        params={},
+        headers=["Case", "Nm", "N", "Nc(meas)", "Nm(paper)", "N(paper)", "Nc(paper)", "Description"],
+        rows=[[1, 3, 4, 12, 3, 4, 12, "wires"]],
+    ).save(directory)
+    ExperimentRecord(
+        experiment="table2_case1_fast",
+        params={},
+        headers=["Mode", "Case", "Variant", "RI_min", "RI_avg", "pairs"],
+        rows=[
+            ["fixed", 1, "alg1", 15, "15.0", 6],
+            ["varied", 1, "frw-r", 17, "17.0", 6],
+        ],
+    ).save(directory)
+    ExperimentRecord(
+        experiment="fig2_case1",
+        params={},
+        headers=["walk", "hops", "absorbed on", "omega (fF)"],
+        rows=[[0, 5, "w1", "1.0"]],
+        notes=["SVG written to results/fig2_case1.svg"],
+    ).save(directory)
+
+
+def test_write_experiments_md(tmp_path):
+    results = tmp_path / "results"
+    _fake_records(results)
+    out = write_experiments_md(tmp_path / "EXPERIMENTS.md", results)
+    text = out.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Table I" in text
+    assert "Table II" in text
+    assert "paper RI_min/avg" in text
+    assert "13 / 14.0" in text  # the paper comparison column for alg1 fixed
+    assert "Fig. 2" in text
+    # Missing records are skipped without error.
+    assert "Fig. 5" not in text
+
+
+def test_render_table2_comparison_unknown_cell():
+    rec = ExperimentRecord(
+        experiment="x",
+        params={},
+        headers=[],
+        rows=[["fixed", 99, "frw-r", 17, "17.0", 6]],
+    )
+    text = render_table2_comparison(rec)
+    assert "-" in text  # no paper value for case 99

@@ -1,0 +1,108 @@
+"""Tests for matched-digit and reproducibility-index metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import (
+    BITWISE_RI,
+    matched_digits,
+    matrix_matched_digits,
+    reproducibility_indices,
+)
+
+
+def test_exact_equality_scores_17():
+    assert matched_digits(1.2345, 1.2345) == BITWISE_RI
+    assert matched_digits(0.0, 0.0) == BITWISE_RI
+    assert matched_digits(-0.0, 0.0) == BITWISE_RI
+
+
+def test_digit_counting():
+    assert matched_digits(1.0, 1.1) == 1
+    assert matched_digits(1.0, 1.001) == 3
+    assert matched_digits(1.0, 2.0) == 0
+    assert matched_digits(1.0, -1.0) == 0
+    assert matched_digits(1234.5, 1234.6) == 4
+
+
+def test_digit_counting_scale_invariance():
+    base = matched_digits(1.0, 1.0 + 1e-6)
+    for scale in (1e-12, 1e-3, 1e9):
+        assert matched_digits(scale, scale * (1.0 + 1e-6)) in (base - 1, base, base + 1)
+
+
+def test_nan_scores_zero():
+    assert matched_digits(float("nan"), 1.0) == 0
+    assert matched_digits(1.0, float("nan")) == 0
+
+
+def test_one_ulp_apart_scores_near_16():
+    a = 1.0
+    b = math.nextafter(1.0, 2.0)
+    assert matched_digits(a, b) >= 15
+
+
+@given(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.integers(0, 14),
+)
+@settings(max_examples=60)
+def test_constructed_digit_agreement(value, digits):
+    if abs(value) < 1e-6:
+        return
+    perturbed = value * (1.0 + 10.0 ** (-digits - 1))
+    measured = matched_digits(value, perturbed)
+    assert measured >= digits - 1
+
+
+def test_matrix_minimum_rule():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    b = a.copy()
+    b[1, 1] = 4.004  # agree on "4.00" -> 3 matched digits
+    assert matrix_matched_digits(a, b) == 3
+    assert matrix_matched_digits(a, a) == BITWISE_RI
+
+
+def test_matrix_shape_mismatch():
+    with pytest.raises(ValueError):
+        matrix_matched_digits(np.zeros(3), np.zeros(4))
+
+
+def test_matrix_empty_and_zero():
+    assert matrix_matched_digits(np.empty(0), np.empty(0)) == BITWISE_RI
+    assert matrix_matched_digits(np.zeros((2, 2)), np.zeros((2, 2))) == BITWISE_RI
+
+
+def test_matrix_nan_mismatch_scores_zero():
+    a = np.array([1.0, np.nan])
+    b = np.array([1.0, 2.0])
+    assert matrix_matched_digits(a, b) == 0
+
+
+def test_reproducibility_indices_pairwise():
+    runs = [
+        np.array([1.0, 2.0]),
+        np.array([1.0, 2.0]),
+        np.array([1.0, 2.002]),  # ~2-3 digits vs the others
+    ]
+    stats = reproducibility_indices(runs)
+    assert stats.n_pairs == 3
+    assert stats.ri_min <= 3
+    assert stats.ri_avg > stats.ri_min  # the identical pair scores 17
+
+
+def test_reproducibility_indices_needs_two_runs():
+    with pytest.raises(ValueError):
+        reproducibility_indices([np.zeros(2)])
+
+
+def test_reproducibility_indices_bitwise():
+    runs = [np.array([1.5, -2.5])] * 4
+    stats = reproducibility_indices(runs)
+    assert stats.ri_min == BITWISE_RI
+    assert stats.ri_avg == float(BITWISE_RI)
+    assert stats.n_pairs == 6

@@ -1,0 +1,108 @@
+"""Tests for the minimal CSC matrix container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericalError
+from repro.numerics import csc_from_coo, csc_from_dense, csc_permute_symmetric
+
+
+def test_from_coo_sums_duplicates():
+    m = csc_from_coo(
+        np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0]), (2, 2)
+    )
+    dense = m.to_dense()
+    assert dense[0, 1] == 5.0
+    assert dense[1, 0] == 4.0
+    assert m.nnz == 2
+
+
+def test_from_dense_roundtrip():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((6, 4))
+    a[np.abs(a) < 0.8] = 0.0
+    m = csc_from_dense(a)
+    assert np.array_equal(m.to_dense(), a)
+    assert m.nnz == int((a != 0).sum())
+
+
+def test_matvec_matches_scipy():
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((8, 5))
+    a[np.abs(a) < 1.0] = 0.0
+    m = csc_from_dense(a)
+    x = rng.standard_normal(5)
+    assert np.allclose(m.matvec(x), sp.csc_matrix(a) @ x)
+
+
+def test_matvec_dimension_check():
+    m = csc_from_dense(np.eye(3))
+    with pytest.raises(NumericalError):
+        m.matvec(np.zeros(4))
+
+
+def test_transpose():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((5, 7))
+    a[np.abs(a) < 1.0] = 0.0
+    m = csc_from_dense(a)
+    assert np.array_equal(m.transpose().to_dense(), a.T)
+
+
+def test_column_access_sorted():
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((10, 10))
+    a[np.abs(a) < 1.2] = 0.0
+    m = csc_from_dense(a)
+    for j in range(10):
+        rows, vals = m.column(j)
+        assert np.all(np.diff(rows) > 0)
+        assert np.array_equal(vals, a[rows, j])
+
+
+def test_index_bounds_checked():
+    with pytest.raises(NumericalError):
+        csc_from_coo(np.array([5]), np.array([0]), np.array([1.0]), (2, 2))
+    with pytest.raises(NumericalError):
+        csc_from_coo(np.array([0]), np.array([-1]), np.array([1.0]), (2, 2))
+    with pytest.raises(NumericalError):
+        csc_from_coo(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+
+def test_symmetric_permutation():
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((6, 6))
+    a = a + a.T
+    a[np.abs(a) < 1.0] = 0.0
+    perm = np.array([3, 1, 5, 0, 2, 4])
+    m = csc_permute_symmetric(csc_from_dense(a), perm)
+    # Direct definition check: entry (inv[i], inv[j]) == a[i, j].
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(6)
+    dense = m.to_dense()
+    for i in range(6):
+        for j in range(6):
+            assert dense[inv[i], inv[j]] == a[i, j]
+
+
+def test_permute_requires_square():
+    m = csc_from_dense(np.ones((2, 3)))
+    with pytest.raises(NumericalError):
+        csc_permute_symmetric(m, np.array([0, 1]))
+
+
+@given(st.integers(0, 10000))
+@settings(max_examples=25, deadline=None)
+def test_coo_roundtrip_random(seed):
+    rng = np.random.default_rng(seed)
+    n_entries = int(rng.integers(0, 30))
+    rows = rng.integers(0, 7, n_entries)
+    cols = rng.integers(0, 5, n_entries)
+    vals = rng.standard_normal(n_entries)
+    m = csc_from_coo(rows, cols, vals, (7, 5))
+    expected = np.zeros((7, 5))
+    np.add.at(expected, (rows, cols), vals)
+    assert np.allclose(m.to_dense(), expected)

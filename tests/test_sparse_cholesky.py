@@ -1,0 +1,128 @@
+"""Tests for the sparse Cholesky factorisation and RCM ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NumericalError
+from repro.numerics import (
+    SparseCholesky,
+    cholesky,
+    csc_from_dense,
+    elimination_tree,
+    rcm_ordering,
+    solve_cholesky,
+)
+
+
+def random_sparse_spd(n: int, seed: int, density: float = 0.15) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    b = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    a = b @ b.T + n * np.eye(n)
+    a[np.abs(a) < 1e-12] = 0.0
+    return a
+
+
+def test_elimination_tree_known_example():
+    # Arrow matrix: every column couples to the last; etree is a path into n-1.
+    n = 5
+    a = np.eye(n)
+    a[:, -1] = 1.0
+    a[-1, :] = 1.0
+    parent = elimination_tree(csc_from_dense(a))
+    assert parent[-1] == -1
+    assert all(parent[i] == n - 1 for i in range(n - 1))
+
+
+def test_elimination_tree_tridiagonal():
+    n = 6
+    a = 2 * np.eye(n) + np.diag(np.ones(n - 1), 1) + np.diag(np.ones(n - 1), -1)
+    parent = elimination_tree(csc_from_dense(a))
+    assert parent.tolist() == [1, 2, 3, 4, 5, -1]
+
+
+def test_rcm_is_permutation_and_reduces_bandwidth():
+    rng = np.random.default_rng(5)
+    n = 30
+    # A path graph with shuffled labels has bandwidth ~n unordered, 1 ordered.
+    labels = rng.permutation(n)
+    a = np.eye(n) * 2.0
+    for i in range(n - 1):
+        a[labels[i], labels[i + 1]] = 1.0
+        a[labels[i + 1], labels[i]] = 1.0
+    perm = rcm_ordering(csc_from_dense(a))
+    assert sorted(perm.tolist()) == list(range(n))
+    p = a[np.ix_(perm, perm)]
+    rows, cols = np.nonzero(p)
+    assert np.abs(rows - cols).max() <= 2
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_solve_matches_dense(seed):
+    n = 25
+    a = random_sparse_spd(n, seed)
+    rng = np.random.default_rng(seed + 100)
+    b = rng.standard_normal(n)
+    x = SparseCholesky(csc_from_dense(a)).solve(b)
+    assert np.allclose(a @ x, b, atol=1e-8 * n)
+    assert np.allclose(x, solve_cholesky(a, b), atol=1e-8)
+
+
+def test_natural_ordering_factor_matches_dense_factor():
+    a = random_sparse_spd(12, 42)
+    chol = SparseCholesky(csc_from_dense(a), ordering="natural")
+    dense_l = cholesky(a)
+    assert np.allclose(chol.factor_dense(), dense_l, atol=1e-10)
+
+
+def test_explicit_ordering():
+    a = random_sparse_spd(8, 3)
+    perm = np.array([7, 0, 3, 1, 6, 2, 5, 4])
+    chol = SparseCholesky(csc_from_dense(a), ordering=perm)
+    b = np.arange(8.0)
+    assert np.allclose(a @ chol.solve(b), b)
+
+
+def test_rejects_bad_inputs():
+    a = random_sparse_spd(4, 0)
+    with pytest.raises(NumericalError):
+        SparseCholesky(csc_from_dense(np.ones((2, 3))))
+    with pytest.raises(NumericalError):
+        SparseCholesky(csc_from_dense(a), ordering="bogus")
+    with pytest.raises(NumericalError):
+        SparseCholesky(csc_from_dense(a), ordering=np.array([0, 0, 1, 2]))
+    with pytest.raises(NumericalError):
+        SparseCholesky(csc_from_dense(-np.eye(3)))
+
+
+def test_solve_shape_check():
+    a = random_sparse_spd(4, 1)
+    chol = SparseCholesky(csc_from_dense(a))
+    with pytest.raises(NumericalError):
+        chol.solve(np.zeros(5))
+
+
+def test_diagonal_matrix_fast_path():
+    d = np.diag([4.0, 9.0, 16.0])
+    chol = SparseCholesky(csc_from_dense(d))
+    assert chol.nnz == 3
+    assert np.allclose(chol.solve(np.array([4.0, 9.0, 16.0])), np.ones(3))
+
+
+@given(st.integers(0, 500), st.integers(2, 20))
+@settings(max_examples=20, deadline=None)
+def test_solve_property(seed, n):
+    a = random_sparse_spd(n, seed, density=0.3)
+    rng = np.random.default_rng(seed + 1)
+    b = rng.standard_normal(n)
+    x = SparseCholesky(csc_from_dense(a)).solve(b)
+    assert np.allclose(a @ x, b, atol=1e-7 * n)
+
+
+def test_sparsity_preserved_on_banded():
+    """RCM + sparse factorisation keeps a banded problem's fill small."""
+    n = 200
+    a = 4 * np.eye(n) + np.diag(np.ones(n - 1), 1) + np.diag(np.ones(n - 1), -1)
+    chol = SparseCholesky(csc_from_dense(a))
+    assert chol.nnz <= 2 * n  # tridiagonal factor: <= 2n entries

@@ -1,0 +1,104 @@
+"""Tests for spatial indices: grid equivalence with brute force."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Box,
+    BruteForceIndex,
+    Conductor,
+    GridIndex,
+    Structure,
+    build_index,
+)
+
+
+def random_structure(seed: int, n: int = 30) -> Structure:
+    rng = np.random.default_rng(seed)
+    conductors = []
+    for i in range(n):
+        x, y, z = rng.uniform(0, 40, 3)
+        sx, sy, sz = rng.uniform(0.3, 2.0, 3)
+        conductors.append(
+            Conductor.single(
+                f"c{i}", Box.from_bounds(x, x + sx, y, y + sy, z, z + sz)
+            )
+        )
+    return Structure(
+        conductors, enclosure=Box.from_bounds(-5, 50, -5, 50, -5, 50)
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_grid_matches_brute_force_under_cap(seed):
+    s = random_structure(seed)
+    brute = BruteForceIndex(s)
+    h_cap = 3.0
+    grid = GridIndex(s, h_cap=h_cap)
+    rng = np.random.default_rng(seed + 50)
+    pts = rng.uniform(-5, 50, (400, 3))
+    d_b, c_b = brute.query(pts)
+    d_g, c_g = grid.query(pts)
+    near = d_b < h_cap
+    assert np.allclose(d_g[near], d_b[near])
+    assert np.array_equal(c_g[near], c_b[near])
+    far = ~near
+    assert np.all(d_g[far] == h_cap)
+    assert np.all(c_g[far] == -1)
+
+
+def test_grid_cache_reuse():
+    s = random_structure(3)
+    grid = GridIndex(s, h_cap=2.0)
+    pts = np.full((5, 3), 10.0)
+    grid.query(pts)
+    cached = len(grid._cache)
+    grid.query(pts)
+    assert len(grid._cache) == cached  # same cell: no growth
+
+
+def test_grid_rejects_bad_cap():
+    s = random_structure(4)
+    with pytest.raises(GeometryError):
+        GridIndex(s, h_cap=0.0)
+
+
+def test_empty_points():
+    s = random_structure(5)
+    d, c = GridIndex(s, h_cap=1.0).query(np.empty((0, 3)))
+    assert d.shape == (0,) and c.shape == (0,)
+
+
+def test_brute_l2_query():
+    s = random_structure(6)
+    brute = BruteForceIndex(s)
+    pts = np.random.default_rng(7).uniform(0, 40, (50, 3))
+    d_inf, _ = brute.query(pts)
+    d_2, _ = brute.query_l2(pts)
+    assert np.all(d_inf <= d_2 + 1e-12)
+
+
+def test_build_index_selection():
+    small = random_structure(8, n=10)
+    assert isinstance(build_index(small, h_cap=1.0), BruteForceIndex)
+    big = random_structure(9, n=40)
+    assert isinstance(
+        build_index(big, h_cap=1.0, brute_force_limit=20), GridIndex
+    )
+
+
+def test_owner_mapping_multibox():
+    net = Conductor(
+        "net",
+        (
+            Box.from_bounds(0, 1, 0, 1, 0, 1),
+            Box.from_bounds(5, 6, 0, 1, 0, 1),
+        ),
+    )
+    other = Conductor.single("o", Box.from_bounds(10, 11, 0, 1, 0, 1))
+    s = Structure([net, other], enclosure=Box.from_bounds(-5, 16, -5, 6, -5, 6))
+    brute = BruteForceIndex(s)
+    d, c = brute.query(np.array([[5.5, 0.5, 0.5], [10.5, 0.5, 0.5]]))
+    assert c.tolist() == [0, 1]
+    assert np.allclose(d, 0.0)

@@ -1,0 +1,104 @@
+"""Tests for SPICE netlist export."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix
+from repro.analysis import to_spice_subckt, write_spice
+from repro.errors import RegularizationError
+
+
+def reliable_matrix():
+    """A 3-master + enclosure matrix satisfying all properties."""
+    values = np.array(
+        [
+            [3.0, -1.0, -0.5, -1.5],
+            [-1.0, 4.0, -2.0, -1.0],
+            [-0.5, -2.0, 3.5, -1.0],
+        ]
+    )
+    return CapacitanceMatrix(
+        values=values,
+        masters=[0, 1, 2],
+        names=["in", "out", "clk!", "ENV"],
+    )
+
+
+def test_subckt_structure():
+    text = to_spice_subckt(reliable_matrix(), name="block")
+    assert text.startswith("* generated")
+    assert ".subckt block in out clk_" in text
+    assert text.rstrip().endswith(".ends block")
+    # 3 mutual + 3 ground capacitors.
+    assert sum(1 for line in text.splitlines() if line.startswith("C")) == 6
+
+
+def test_mutual_and_ground_values():
+    text = to_spice_subckt(reliable_matrix())
+    lines = {tuple(l.split()[1:3]): l.split()[3] for l in text.splitlines() if l.startswith("C")}
+    assert lines[("in", "out")] == "1f"
+    assert lines[("in", "clk_")] == "0.5f"
+    assert lines[("out", "clk_")] == "2f"
+    assert lines[("in", "0")] == "1.5f"
+    assert lines[("out", "0")] == "1f"
+
+
+def test_small_couplings_dropped():
+    m = reliable_matrix()
+    m.values[0, 2] = -1e-9
+    m.values[2, 0] = -1e-9
+    m.values[0, 0] = -(m.values[0, 1:].sum())
+    m.values[2, 2] = -(m.values[2, [0, 1, 3]].sum())
+    text = to_spice_subckt(m, min_capacitance_ff=1e-6)
+    assert ("in", "clk_") not in {
+        tuple(l.split()[1:3]) for l in text.splitlines() if l.startswith("C")
+    }
+
+
+def test_unreliable_matrix_rejected():
+    m = reliable_matrix()
+    m.values[0, 1] = -1.1  # break symmetry
+    with pytest.raises(RegularizationError):
+        to_spice_subckt(m)
+    # force=True lets it through
+    assert ".subckt" in to_spice_subckt(m, force=True)
+
+
+def test_duplicate_masters_rejected():
+    m = reliable_matrix()
+    m.masters = [0, 0, 2]
+    with pytest.raises(RegularizationError):
+        to_spice_subckt(m)
+
+
+def test_subset_masters_export():
+    """A two-net subset exports with the third net folded into ground."""
+    m = reliable_matrix()
+    sub = CapacitanceMatrix(
+        values=m.values[[0, 1]],
+        masters=[0, 1],
+        names=m.names,
+    )
+    text = to_spice_subckt(sub, force=True)
+    assert ".subckt extracted in out" in text
+    pairs = {tuple(l.split()[1:3]) for l in text.splitlines() if l.startswith("C")}
+    assert ("in", "out") in pairs
+    assert ("in", "0") in pairs
+
+
+def test_write_spice(tmp_path):
+    path = write_spice(reliable_matrix(), tmp_path / "cap.sp", name="dut")
+    assert path.exists()
+    assert ".subckt dut" in path.read_text()
+
+
+def test_end_to_end_from_extraction(plates, quick_config):
+    from repro import FRWSolver
+
+    result = FRWSolver(plates, quick_config.with_(variant="frw-rr")).extract()
+    text = to_spice_subckt(result.matrix, name="plates")
+    assert ".subckt plates P1 P2" in text
+    values = [
+        float(l.split()[3].rstrip("f")) for l in text.splitlines() if l.startswith("C")
+    ]
+    assert all(v > 0 for v in values)  # a reliable matrix: no negative caps

@@ -1,0 +1,74 @@
+"""Tests for streaming Monte Carlo statistics."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import MeanEstimate, RunningStats, mean_variance_from_sums
+
+
+def test_running_stats_matches_numpy():
+    rng = np.random.default_rng(0)
+    xs = rng.standard_normal(500) * 3.0 + 2.0
+    stats = RunningStats()
+    for x in xs:
+        stats.add(float(x))
+    assert stats.count == 500
+    assert math.isclose(stats.mean, xs.mean(), rel_tol=1e-12)
+    assert math.isclose(stats.variance, xs.var(ddof=1), rel_tol=1e-10)
+    assert math.isclose(
+        stats.std_error, math.sqrt(xs.var(ddof=1) / 500), rel_tol=1e-10
+    )
+
+
+def test_add_many_matches_scalar_path():
+    rng = np.random.default_rng(1)
+    xs = rng.standard_normal(300)
+    a = RunningStats()
+    for x in xs:
+        a.add(float(x))
+    b = RunningStats()
+    b.add_many(xs[:100])
+    b.add_many(xs[100:250])
+    b.add_many(xs[250:])
+    b.add_many(np.empty(0))
+    assert math.isclose(a.mean, b.mean, rel_tol=1e-12)
+    assert math.isclose(a.variance, b.variance, rel_tol=1e-10)
+
+
+def test_few_samples_edge_cases():
+    stats = RunningStats()
+    assert stats.variance == 0.0
+    assert stats.std_error == math.inf
+    stats.add(3.0)
+    assert stats.mean == 3.0
+    assert stats.variance == 0.0
+
+
+def test_mean_estimate_interval_and_relative_error():
+    est = MeanEstimate(mean=10.0, std_error=0.5, count=100)
+    lo, hi = est.confidence_interval(2.0)
+    assert (lo, hi) == (9.0, 11.0)
+    assert est.relative_error == 0.05
+    assert MeanEstimate(0.0, 1.0, 10).relative_error == math.inf
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=200))
+@settings(max_examples=50)
+def test_mean_variance_from_sums_property(values):
+    xs = np.array(values)
+    mean, sigma2 = mean_variance_from_sums(
+        float(xs.sum()), float((xs * xs).sum()), xs.shape[0]
+    )
+    assert math.isclose(mean, xs.mean(), rel_tol=1e-9, abs_tol=1e-9)
+    expected = xs.var(ddof=1) / xs.shape[0]
+    assert math.isclose(sigma2, expected, rel_tol=1e-6, abs_tol=1e-9)
+
+
+def test_mean_variance_from_sums_degenerate():
+    mean, sigma2 = mean_variance_from_sums(5.0, 25.0, 1)
+    assert mean == 5.0 and sigma2 == math.inf
+    mean, sigma2 = mean_variance_from_sums(0.0, 0.0, 0)
+    assert mean == 0.0 and sigma2 == math.inf

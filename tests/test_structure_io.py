@@ -1,0 +1,67 @@
+"""Tests for structure JSON (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    load_structure,
+    save_structure,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.structures import build_case
+
+
+def test_roundtrip_case(tmp_path):
+    original = build_case(2, "fast")
+    path = save_structure(original, tmp_path / "case2.json")
+    loaded = load_structure(path)
+    assert [c.name for c in loaded.conductors] == [
+        c.name for c in original.conductors
+    ]
+    assert [c.boxes for c in loaded.conductors] == [
+        c.boxes for c in original.conductors
+    ]
+    assert loaded.dielectric == original.dielectric
+    assert loaded.enclosure == original.enclosure
+
+
+def test_roundtrip_preserves_extraction(tmp_path):
+    """The serialised structure extracts to bit-identical capacitances."""
+    from repro import FRWConfig, FRWSolver
+
+    original = build_case(1, "fast")
+    loaded = load_structure(save_structure(original, tmp_path / "s.json"))
+    cfg = FRWConfig.frw_r(
+        seed=4, batch_size=1000, min_walks=1000, max_walks=1000, tolerance=0.5
+    )
+    a = FRWSolver(original, cfg).extract(masters=[0])
+    b = FRWSolver(loaded, cfg).extract(masters=[0])
+    import numpy as np
+
+    assert np.array_equal(a.matrix.values, b.matrix.values)
+
+
+def test_default_dielectric_and_enclosure():
+    data = {
+        "conductors": [{"name": "a", "boxes": [[0, 0, 0, 1, 1, 1]]}],
+    }
+    s = structure_from_dict(data)
+    assert s.dielectric.is_homogeneous
+    assert s.enclosure is not None  # auto-enclosure applied
+
+
+def test_malformed_document_raises():
+    with pytest.raises(GeometryError):
+        structure_from_dict({"conductors": [{"name": "a"}]})
+    with pytest.raises(GeometryError):
+        structure_from_dict({"conductors": [{"name": "a", "boxes": [[0, 0, 0]]}]})
+
+
+def test_dict_is_json_serialisable():
+    d = structure_to_dict(build_case(1, "fast"))
+    json.dumps(d)  # must not raise
+    assert len(d["conductors"]) == 3
+    assert len(d["enclosure"]) == 6

@@ -1,0 +1,90 @@
+"""Tests for the Table I workload generators."""
+
+import pytest
+
+from repro.structures import (
+    CASES,
+    adc_like,
+    build_case,
+    case_masters,
+    large_grid,
+    parallel_wires,
+    sram_like,
+    vco_like,
+)
+
+
+@pytest.mark.parametrize("number", [1, 2, 3, 4, 5])
+def test_paper_profiles_match_table1(number):
+    spec = CASES[number]
+    s = build_case(number, "paper")
+    masters = case_masters(s)
+    assert len(masters) == spec.paper_nm
+    assert s.n_conductors == spec.paper_n
+
+
+def test_case6_paper_profile_counts():
+    """Case 6 at full size: counts only (no validation pass at 48k boxes)."""
+    s = build_case(6, "paper")
+    assert len(case_masters(s)) == CASES[6].paper_nm
+    assert s.n_conductors == CASES[6].paper_n
+
+
+@pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 6])
+def test_fast_profiles_build_and_validate(number):
+    s = build_case(number, "fast")
+    masters = case_masters(s)
+    assert len(masters) >= 3
+    assert masters == list(range(len(masters)))  # masters come first
+    # Every master has clearance for a Gaussian surface.
+    for m in masters[:5]:
+        assert s.conductor_clearance(m) > 0
+
+
+def test_unknown_case_rejected():
+    with pytest.raises(KeyError):
+        build_case(7)
+
+
+def test_masters_precede_extras():
+    s = build_case(5, "fast")
+    names = [c.name for c in s.conductors]
+    assert names[-3:] == ["substrate", "vdd", "vss"]
+    assert "ENV" == s.names[-1]
+
+
+def test_parallel_wires_parameterised():
+    s = parallel_wires(n_wires=5, width=0.5, spacing=0.5)
+    assert len(s.conductors) == 5
+    assert s.n_conductors == 6
+
+
+def test_vco_multibox_rings():
+    s = vco_like(n_fingers=4, n_turns=3)
+    rings = [c for c in s.conductors if c.name.startswith("ind")]
+    assert len(rings) == 3
+    assert all(r.n_boxes == 4 for r in rings)
+
+
+def test_adc_scaling():
+    s = adc_like(n_taps=5)
+    masters = case_masters(s)
+    assert len(masters) == 2 * 5 + 1
+
+
+def test_sram_count_formula():
+    s = sram_like(rows=2, cols=3)
+    masters = case_masters(s)
+    assert len(masters) == 2 + 2 * 3 + 2 * 3  # rows + 2*cols + rows*cols
+
+
+def test_large_grid_alternates_layers():
+    s = large_grid(seg_rows=4, seg_cols=4)
+    z_lows = {c.boxes[0].lo[2] for c in s.conductors if c.name.startswith("s")}
+    assert len(z_lows) == 2  # two metal layers
+
+
+def test_generators_are_deterministic():
+    a = build_case(3, "fast")
+    b = build_case(3, "fast")
+    assert [c.boxes for c in a.conductors] == [c.boxes for c in b.conductors]

@@ -1,0 +1,154 @@
+"""Tests for compensated summation kernels."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import (
+    KahanScalar,
+    KahanVector,
+    NaiveVector,
+    exact_sum,
+    kahan_sum,
+    naive_sum,
+    pairwise_sum,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+def test_kahan_classic_cancellation():
+    # 1 + 1e-16 repeated: naive loses the tiny terms, Kahan keeps them.
+    values = [1.0] + [1e-16] * 1_000_000
+    naive = naive_sum(values)
+    compensated = kahan_sum(values)
+    assert naive == 1.0  # every tiny add is absorbed
+    assert abs(compensated - (1.0 + 1e-10)) < 1e-22
+
+
+def test_neumaier_handles_large_term_after_small():
+    # The case plain Kahan gets wrong: big term arrives after the sum.
+    values = [1.0, 1e100, 1.0, -1e100]
+    assert kahan_sum(values) == 2.0
+
+
+@given(st.lists(finite_floats, min_size=0, max_size=300))
+@settings(max_examples=100)
+def test_kahan_close_to_fsum(values):
+    reference = exact_sum(values)
+    compensated = kahan_sum(values)
+    scale = max(1.0, max((abs(v) for v in values), default=0.0))
+    assert abs(compensated - reference) <= 1e-12 * scale
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_pairwise_matches_fsum_loosely(values):
+    arr = np.array(values)
+    reference = exact_sum(values)
+    scale = max(1.0, np.abs(arr).sum())
+    assert abs(pairwise_sum(arr) - reference) <= 1e-10 * scale
+
+
+def test_kahan_scalar_merge_matches_single_accumulator():
+    rng = np.random.default_rng(3)
+    values = rng.standard_normal(1000) * 10.0 ** rng.integers(-8, 8, 1000)
+    whole = KahanScalar()
+    for v in values:
+        whole.add(float(v))
+    a, b = KahanScalar(), KahanScalar()
+    for v in values[:500]:
+        a.add(float(v))
+    for v in values[500:]:
+        b.add(float(v))
+    a.merge(b)
+    assert abs(a.value - whole.value) <= 1e-12 * max(1.0, abs(whole.value))
+
+
+def test_kahan_vector_elementwise():
+    acc = KahanVector(4)
+    rng = np.random.default_rng(5)
+    terms = rng.standard_normal((300, 4))
+    for t in terms:
+        acc.add(t)
+    expected = np.array([exact_sum(terms[:, j]) for j in range(4)])
+    assert np.allclose(acc.value, expected, rtol=0, atol=1e-12)
+
+
+def test_kahan_vector_add_at_matches_add():
+    a = KahanVector(3)
+    b = KahanVector(3)
+    rng = np.random.default_rng(6)
+    for _ in range(200):
+        idx = int(rng.integers(0, 3))
+        val = float(rng.standard_normal())
+        a.add_at(idx, val)
+        full = np.zeros(3)
+        full[idx] = val
+        b.add(full)
+    assert np.array_equal(a.value, b.value)
+
+
+def test_kahan_vector_merge():
+    rng = np.random.default_rng(7)
+    terms = rng.standard_normal((100, 2)) * 1e8
+    whole = KahanVector(2)
+    for t in terms:
+        whole.add(t)
+    p1, p2 = KahanVector(2), KahanVector(2)
+    for t in terms[:50]:
+        p1.add(t)
+    for t in terms[50:]:
+        p2.add(t)
+    p1.merge(p2)
+    assert np.allclose(p1.value, whole.value, atol=1e-6)
+
+
+def test_naive_vector_interface():
+    acc = NaiveVector(2)
+    acc.add_at(0, 1.5)
+    acc.add(np.array([0.5, 2.0]))
+    other = NaiveVector(2)
+    other.add_at(1, 1.0)
+    acc.merge(other)
+    assert acc.value.tolist() == [2.0, 3.0]
+    copied = acc.copy()
+    copied.add_at(0, 1.0)
+    assert acc.value[0] == 2.0
+
+
+def test_kahan_beats_naive_on_random_order():
+    """The property Table II exploits: summation order perturbs naive sums
+    far more than compensated ones."""
+    rng = np.random.default_rng(11)
+    values = rng.standard_normal(20_000) * 10.0 ** rng.integers(-6, 6, 20_000)
+    reference = exact_sum(values)
+    naive_spread = set()
+    kahan_spread = set()
+    for trial in range(5):
+        perm = np.random.default_rng(trial).permutation(values.shape[0])
+        naive_spread.add(naive_sum(values[perm].tolist()))
+        kahan_spread.add(kahan_sum(values[perm].tolist()))
+    naive_err = max(abs(v - reference) for v in naive_spread)
+    kahan_err = max(abs(v - reference) for v in kahan_spread)
+    assert kahan_err <= naive_err
+    assert kahan_err <= 1e-12 * max(1.0, abs(reference))
+
+
+def test_empty_sums():
+    assert naive_sum([]) == 0.0
+    assert kahan_sum([]) == 0.0
+    assert pairwise_sum(np.array([])) == 0.0
+    assert exact_sum([]) == 0.0
+
+
+def test_exact_sum_is_order_independent():
+    rng = np.random.default_rng(13)
+    values = (rng.standard_normal(5000) * 10.0 ** rng.integers(-10, 10, 5000)).tolist()
+    shuffled = list(values)
+    np.random.default_rng(14).shuffle(shuffled)
+    assert exact_sum(values) == exact_sum(shuffled)

@@ -1,0 +1,88 @@
+"""Tests for the Sec. IV-C symmetrization-only and naive variants."""
+
+import numpy as np
+import pytest
+
+from repro import CapacitanceMatrix, naive_adjustment, symmetrize
+from repro.errors import RegularizationError
+from repro.reliability import asymmetry_error, check_properties
+
+
+def make_obs(seed=0, nm=4, n=6):
+    rng = np.random.default_rng(seed)
+    values = -rng.uniform(0.5, 2.0, (nm, n))
+    for i in range(nm):
+        values[i, i] = 5.0 + rng.uniform(0, 1)
+    sigma2 = rng.uniform(0.001, 0.01, (nm, n))
+    return CapacitanceMatrix(
+        values=values,
+        masters=list(range(nm)),
+        names=[f"c{j}" for j in range(n)],
+        sigma2=sigma2,
+        hits=np.full((nm, n), 50, dtype=np.int64),
+    )
+
+
+def test_symmetrize_enforces_property2_only():
+    obs = make_obs(1)
+    assert asymmetry_error(obs) > 1e-3
+    sym = symmetrize(obs)
+    assert asymmetry_error(sym) == 0.0
+    # Diagonals and non-master couplings untouched.
+    for i in range(4):
+        assert sym.values[i, i] == obs.values[i, i]
+    assert np.array_equal(sym.values[:, 4:], obs.values[:, 4:])
+
+
+def test_symmetrize_is_inverse_variance_weighted():
+    obs = make_obs(2)
+    obs.values[0, 1] = -1.0
+    obs.values[1, 0] = -3.0
+    obs.sigma2[0, 1] = 1.0  # poor observation
+    obs.sigma2[1, 0] = 1e-6  # excellent observation
+    sym = symmetrize(obs)
+    # Fused value must sit essentially at the precise observation.
+    assert abs(sym.values[0, 1] - (-3.0)) < 1e-3
+    assert sym.values[0, 1] == sym.values[1, 0]
+
+
+def test_symmetrize_zero_pairs():
+    obs = make_obs(3)
+    obs.hits[0, 2] = 0
+    sym = symmetrize(obs)
+    assert sym.values[0, 2] == 0.0
+    assert sym.values[2, 0] == 0.0
+
+
+def test_symmetrize_requires_variances():
+    obs = make_obs(4)
+    obs.sigma2 = None
+    with pytest.raises(RegularizationError):
+        symmetrize(obs)
+
+
+def test_naive_adjustment_properties():
+    obs = make_obs(5)
+    fixed = naive_adjustment(obs)
+    report = check_properties(fixed)
+    assert report.err2 == 0.0
+    assert report.err3 < 1e-12
+
+
+def test_naive_adjustment_overwrites_diagonal():
+    """The failure mode Sec. IV warns about: the diagonal is *replaced* by
+    the off-diagonal sum, inheriting all of its accumulated error."""
+    obs = make_obs(6)
+    original_diag = np.diag(obs.values[:, :4]).copy()
+    fixed = naive_adjustment(obs)
+    new_diag = np.diag(fixed.values[:, :4])
+    assert not np.allclose(new_diag, original_diag)
+    # Row sums are exactly zero by construction.
+    assert np.allclose(fixed.values.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_naive_adjustment_master_validation():
+    obs = make_obs(7)
+    obs.masters = [0, 0, 2, 3]
+    with pytest.raises(RegularizationError):
+        naive_adjustment(obs)

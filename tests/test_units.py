@@ -1,0 +1,31 @@
+"""Tests for units and constants."""
+
+import math
+
+from repro.units import (
+    EPS0,
+    EPS0_FF_PER_UM,
+    ER_SIO2,
+    farad_to_ff,
+    nm,
+    um,
+)
+
+
+def test_eps0_conversion_consistency():
+    # EPS0 [F/m] -> fF/um: x 1e15 fF/F / 1e6 um/m.
+    assert math.isclose(EPS0_FF_PER_UM, EPS0 * 1e15 / 1e6)
+
+
+def test_parallel_plate_sanity():
+    # 1 um^2 plate at 1 um gap in SiO2: C = eps0 * er * A / d ~ 0.0345 fF.
+    c = EPS0_FF_PER_UM * ER_SIO2 * 1.0 / 1.0
+    assert 0.03 < c < 0.04
+
+
+def test_length_helpers():
+    assert nm(1000.0) == um(1.0) == 1.0
+
+
+def test_farad_to_ff():
+    assert farad_to_ff(1e-15) == 1.0
