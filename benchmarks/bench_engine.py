@@ -1,0 +1,195 @@
+"""Engine throughput benchmark — emits BENCH_engine.json.
+
+Measures walks/sec and steps/sec of the extraction hot path in four
+configurations so future changes can track the trajectory:
+
+* ``engine_plain``      — per-batch ``run_walks`` (the seed's engine path).
+* ``engine_pipelined``  — cross-batch ``run_walks_pipelined`` (refilled
+  vector, same walks, bit-identical results).
+* ``extract_seed_style``— full ``extract_row`` with the seed's scheduling:
+  per-batch engine + per-walk scalar merge replay (emulated here).
+* ``extract_default``   — full ``extract_row_alg2`` with the current
+  defaults (pipelined engine + vectorised ordered merge replay; the
+  thread/process executors engage automatically on multi-core hosts).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [-o BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro import FRWConfig
+from repro.frw import build_context, extract_row_alg2, run_walks, run_walks_pipelined
+from repro.frw.alg2_reproducible import machine_rng, make_streams
+from repro.frw.estimator import RowAccumulator
+from repro.frw.scheduler import jittered_durations, simulate_dynamic_queue
+from repro.rng import WalkStreams
+from repro.structures import build_case
+
+BATCH = 2048
+N_BATCHES = 4
+SEED = 9
+
+
+def _time(fn, repeats: int = 3):
+    """Best-of-N wall time and the last return value."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_engine_plain(ctx):
+    def run():
+        parts = []
+        streams = WalkStreams(SEED)
+        for u in range(N_BATCHES):
+            uids = np.arange(u * BATCH, (u + 1) * BATCH, dtype=np.uint64)
+            parts.append(run_walks(ctx, streams, uids))
+        return parts
+
+    secs, parts = _time(run)
+    steps = int(sum(p.steps.sum() for p in parts))
+    return secs, N_BATCHES * BATCH, steps
+
+
+def bench_engine_pipelined(ctx):
+    uids = np.arange(N_BATCHES * BATCH, dtype=np.uint64)
+
+    def run():
+        return run_walks_pipelined(
+            ctx, WalkStreams(SEED), uids, width=BATCH, lookahead=2
+        )
+
+    secs, res = _time(run)
+    return secs, uids.shape[0], int(res.steps.sum())
+
+
+def _extract_config(**overrides):
+    return FRWConfig.frw_r(
+        seed=SEED,
+        n_threads=16,
+        batch_size=BATCH,
+        min_walks=N_BATCHES * BATCH,
+        max_walks=N_BATCHES * BATCH,
+        tolerance=1e-9,
+        **overrides,
+    )
+
+
+def bench_extract_seed_style(structure):
+    """The seed's full extraction loop: plain batches + scalar merge replay."""
+    cfg = _extract_config(executor="serial", pipeline=False)
+    ctx = build_context(structure, 0, cfg)
+
+    def run():
+        streams = make_streams(cfg, ctx.master)
+        rng_machine = machine_rng(cfg, ctx.master)
+        acc = RowAccumulator(ctx.n_conductors, ctx.master, summation=cfg.summation)
+        for u in range(N_BATCHES):
+            uids = np.arange(u * BATCH, (u + 1) * BATCH, dtype=np.uint64)
+            results = run_walks(ctx, streams, uids)
+            durations = jittered_durations(
+                results.steps, rng_machine, cfg.scheduler_jitter
+            )
+            schedule = simulate_dynamic_queue(durations, cfg.n_threads)
+            for thread_order in schedule.thread_order:
+                local = acc.spawn()
+                for w in thread_order:
+                    local.add_walk(
+                        float(results.omega[w]),
+                        int(results.dest[w]),
+                        int(results.steps[w]),
+                    )
+                acc.merge(local)
+        return acc
+
+    secs, acc = _time(run)
+    return secs, acc.walks, acc.total_steps
+
+
+def bench_extract_default(structure):
+    cfg = _extract_config()
+    ctx = build_context(structure, 0, cfg)
+
+    def run():
+        return extract_row_alg2(ctx, cfg)
+
+    secs, (row, stats) = _time(run)
+    return secs, stats.walks, stats.total_steps
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_engine.json")
+    parser.add_argument("--case", type=int, default=1)
+    args = parser.parse_args()
+
+    structure = build_case(args.case, "fast")
+    ctx = build_context(structure, 0, FRWConfig.frw_r(seed=SEED))
+
+    results = {}
+    for name, fn, arg in [
+        ("engine_plain", bench_engine_plain, ctx),
+        ("engine_pipelined", bench_engine_pipelined, ctx),
+        ("extract_seed_style", bench_extract_seed_style, structure),
+        ("extract_default", bench_extract_default, structure),
+    ]:
+        secs, walks, steps = fn(arg)
+        results[name] = {
+            "seconds": round(secs, 6),
+            "walks": walks,
+            "steps": steps,
+            "walks_per_sec": round(walks / secs, 1),
+            "steps_per_sec": round(steps / secs, 1),
+        }
+        print(
+            f"{name:20s} {secs * 1e3:9.1f} ms   "
+            f"{results[name]['walks_per_sec']:>10.0f} walks/s   "
+            f"{results[name]['steps_per_sec']:>11.0f} steps/s"
+        )
+
+    payload = {
+        "benchmark": "engine_throughput",
+        "case": args.case,
+        "batch_size": BATCH,
+        "n_batches": N_BATCHES,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "speedups": {
+            "pipelined_vs_plain_engine": round(
+                results["engine_pipelined"]["walks_per_sec"]
+                / results["engine_plain"]["walks_per_sec"],
+                3,
+            ),
+            "default_vs_seed_extract": round(
+                results["extract_default"]["walks_per_sec"]
+                / results["extract_seed_style"]["walks_per_sec"],
+                3,
+            ),
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

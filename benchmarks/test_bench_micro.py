@@ -86,9 +86,8 @@ def test_brute_force_index_query(benchmark, case3_fast):
 
 
 def test_grid_index_query(benchmark, case3_fast):
-    index = GridIndex(case3_fast, h_cap=4.0)
+    index = GridIndex(case3_fast, h_cap=4.0)  # CSR lists built eagerly here
     pts = np.random.default_rng(1).uniform(-20, 20, (4000, 3))
-    index.query(pts)  # warm the candidate cache
     benchmark(index.query, pts)
 
 
@@ -115,3 +114,72 @@ def test_cube_table_construction(benchmark):
     from repro.greens.cube_table import _build
 
     benchmark(_build, 16, 48)
+
+
+# ----------------------------------------------------------------------
+# Walk-engine throughput
+# ----------------------------------------------------------------------
+def test_engine_full_batch(benchmark, ctx_case1):
+    """run_walks on a full batch: the per-step vectorised hot path."""
+    from repro.frw import run_walks
+
+    uids = np.arange(2048, dtype=np.uint64)
+
+    def run():
+        return run_walks(ctx_case1, WalkStreams(seed=9), uids)
+
+    res = benchmark(run)
+    assert res.omega.shape == (2048,)
+
+
+def test_engine_plain_batches(benchmark, ctx_case1):
+    """Per-batch execution: each batch drains to a ragged tail."""
+    from repro.frw import run_walks
+
+    batch = 512
+
+    def run():
+        ws = WalkStreams(seed=9)
+        parts = [
+            run_walks(
+                ctx_case1,
+                ws,
+                np.arange(u * batch, (u + 1) * batch, dtype=np.uint64),
+            )
+            for u in range(4)
+        ]
+        return parts
+
+    benchmark(run)
+
+
+def test_engine_pipelined_batches(benchmark, ctx_case1):
+    """Cross-batch pipelining over the same walks as test_engine_plain_batches:
+    absorbed slots refill from the next batch, so the vector stays full."""
+    from repro.frw import run_walks_pipelined
+
+    uids = np.arange(4 * 512, dtype=np.uint64)
+
+    def run():
+        return run_walks_pipelined(
+            ctx_case1, WalkStreams(seed=9), uids, width=512, lookahead=2
+        )
+
+    benchmark(run)
+
+
+def test_merge_replay_ordered(benchmark):
+    """The vectorised virtual-thread merge replay (order-preserving Kahan)."""
+    from repro.frw import RowAccumulator
+
+    rng = np.random.default_rng(7)
+    omega = rng.standard_normal(10_000)
+    dest = rng.integers(0, 6, 10_000)
+    steps = rng.integers(1, 40, 10_000)
+
+    def run():
+        acc = RowAccumulator(6, 0)
+        acc.add_walks_ordered(omega, dest, steps)
+        return acc.row()
+
+    benchmark(run)

@@ -22,6 +22,7 @@ from .errors import ConfigError
 VARIANTS = ("alg1", "frw-nk", "frw-nc", "frw-r", "frw-rr")
 RNG_KINDS = ("philox", "mt")
 SUMMATION_KINDS = ("kahan", "naive")
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,27 @@ class FRWConfig:
         Extension (not in the paper): accumulate each batch in walk-ID order
         regardless of the schedule, guaranteeing bitwise-identical results
         (RI = 17) for any DOP.
+    executor:
+        Real-concurrency backend executing walk batches: ``"serial"``,
+        ``"thread"`` (persistent thread pool; NumPy releases the GIL in its
+        inner loops), or ``"process"`` (persistent fork pool).  Results are
+        reassembled in UID order, so all backends are bit-identical to the
+        serial engine — real parallelism changes wall time only, which is
+        the DOP-independence contract of Alg. 2.
+    n_workers:
+        Workers of the real executor; ``0`` means auto (the host CPU
+        count).  With one worker the executor degrades to the serial path.
+    chunk_size:
+        UIDs per executor work item; ``0`` means auto (an even split of the
+        batch over the workers).
+    pipeline:
+        Cross-batch walk pipelining: when walks absorb, their vector slots
+        are refilled with UIDs from the next batch so the engine's vector
+        width stays near ``batch_size`` instead of shrinking to a ragged
+        tail.  Results are banked per batch and remain bit-identical.
+    pipeline_lookahead:
+        How many batches ahead the pipeline may refill from (bounds the
+        work discarded when the stopping rule fires mid-pipeline).
     """
 
     seed: int = 0
@@ -108,6 +130,11 @@ class FRWConfig:
     scheduler_jitter: float = 0.05
     machine_seed: int = 0
     deterministic_merge: bool = False
+    executor: str = "thread"
+    n_workers: int = 0
+    chunk_size: int = 0
+    pipeline: bool = True
+    pipeline_lookahead: int = 1
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -145,6 +172,18 @@ class FRWConfig:
             raise ConfigError(
                 "first_hop_interface_floor must be in [0, 0.1], got "
                 f"{self.first_hop_interface_floor}"
+            )
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.n_workers < 0:
+            raise ConfigError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.chunk_size < 0:
+            raise ConfigError(f"chunk_size must be >= 0, got {self.chunk_size}")
+        if self.pipeline_lookahead < 0:
+            raise ConfigError(
+                f"pipeline_lookahead must be >= 0, got {self.pipeline_lookahead}"
             )
 
     # ------------------------------------------------------------------

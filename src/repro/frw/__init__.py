@@ -11,10 +11,17 @@ from .alg2_reproducible import (
     make_streams,
 )
 from .context import ExtractionContext, build_context
-from .engine import WalkResults, run_walks
+from .engine import WalkPipeline, WalkResults, run_walks, run_walks_pipelined
 from .estimator import CapacitanceRow, RowAccumulator
 from .multilevel import GroupPlan, multilevel_extract, plan_groups
-from .parallel import run_walks_parallel, run_walks_processes
+from .parallel import (
+    PersistentExecutor,
+    make_batch_runner,
+    run_walks_parallel,
+    run_walks_processes,
+    stream_spec,
+    streams_from_spec,
+)
 from .scheduler import (
     ScheduleResult,
     jittered_durations,
@@ -30,9 +37,11 @@ __all__ = [
     "ExtractionResult",
     "FRWSolver",
     "GroupPlan",
+    "PersistentExecutor",
     "RowAccumulator",
     "RunStats",
     "ScheduleResult",
+    "WalkPipeline",
     "WalkResults",
     "WalkTrace",
     "build_context",
@@ -42,14 +51,18 @@ __all__ = [
     "extract_row_alg2_from_structure",
     "jittered_durations",
     "machine_rng",
+    "make_batch_runner",
     "make_streams",
     "multilevel_extract",
     "plan_groups",
     "run_single_walk",
     "run_walks",
     "run_walks_parallel",
+    "run_walks_pipelined",
     "run_walks_processes",
     "simulate_dynamic_queue",
     "simulate_static_blocks",
+    "stream_spec",
+    "streams_from_spec",
     "trace_walks",
 ]

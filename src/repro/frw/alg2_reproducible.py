@@ -26,8 +26,8 @@ import numpy as np
 from ..config import FRWConfig
 from ..rng import MTWalkStreams, WalkStreams, splitmix64
 from .context import ExtractionContext, build_context
-from .engine import run_walks
 from .estimator import CapacitanceRow, RowAccumulator
+from .parallel import PersistentExecutor, make_batch_runner
 from .scheduler import jittered_durations, simulate_dynamic_queue
 
 
@@ -77,55 +77,69 @@ def machine_rng(config: FRWConfig, master: int) -> np.random.Generator:
 def extract_row_alg2(
     ctx: ExtractionContext,
     config: FRWConfig | None = None,
+    executor: PersistentExecutor | None = None,
 ) -> tuple[CapacitanceRow, RunStats]:
-    """Extract one capacitance-matrix row with the reproducible scheme."""
+    """Extract one capacitance-matrix row with the reproducible scheme.
+
+    Walk batches are produced by a batch runner selected from the config's
+    ``executor`` / ``pipeline`` knobs (serial engine, cross-batch pipeline,
+    thread slot-pipelines, or the persistent process pool).  Every runner
+    yields per-batch results in UID order, so the accumulated row is
+    bit-identical across all of them — the scheduling knobs trade wall time
+    only.  Pass ``executor`` (e.g. from :class:`~repro.frw.solver.FRWSolver`)
+    to reuse one pool across masters; otherwise a pool is created and closed
+    here when the config calls for one.
+    """
     cfg = config if config is not None else ctx.config
     n = ctx.n_conductors
-    streams = make_streams(cfg, ctx.master)
     rng_machine = machine_rng(cfg, ctx.master)
     global_acc = RowAccumulator(n, ctx.master, summation=cfg.summation)
     stats = RunStats(thread_work=np.zeros(cfg.n_threads))
     t_start = time.perf_counter()
+    runner, owned = make_batch_runner(ctx, cfg, executor)
 
-    batch_index = 0
-    while True:
-        uids = np.arange(
-            batch_index * cfg.batch_size,
-            (batch_index + 1) * cfg.batch_size,
-            dtype=np.uint64,
-        )
-        results = run_walks(ctx, streams, uids)
-        durations = jittered_durations(
-            results.steps, rng_machine, cfg.scheduler_jitter
-        )
-        schedule = simulate_dynamic_queue(durations, cfg.n_threads)
-        if cfg.deterministic_merge:
-            # Extension: accumulate in walk-ID order for guaranteed bitwise
-            # reproducibility; the schedule still feeds the Fig. 5 model.
-            global_acc.add_batch(results.omega, results.dest, results.steps)
-        else:
-            for thread_order in schedule.thread_order:
-                local = global_acc.spawn()
-                for w in thread_order:
-                    local.add_walk(
-                        float(results.omega[w]),
-                        int(results.dest[w]),
-                        int(results.steps[w]),
+    try:
+        batch_index = 0
+        while True:
+            results = runner.run_batch(batch_index)
+            durations = jittered_durations(
+                results.steps, rng_machine, cfg.scheduler_jitter
+            )
+            schedule = simulate_dynamic_queue(durations, cfg.n_threads)
+            if cfg.deterministic_merge:
+                # Extension: accumulate in walk-ID order for guaranteed
+                # bitwise reproducibility; the schedule still feeds the
+                # Fig. 5 model.
+                global_acc.add_batch(results.omega, results.dest, results.steps)
+            else:
+                for thread_order in schedule.thread_order:
+                    local = global_acc.spawn()
+                    local.add_walks_ordered(
+                        results.omega[thread_order],
+                        results.dest[thread_order],
+                        results.steps[thread_order],
                     )
-                global_acc.merge(local)
-        stats.thread_work += schedule.thread_work
-        stats.makespan += schedule.makespan
-        stats.truncated += results.truncated
-        stats.batches += 1
-        batch_index += 1
+                    global_acc.merge(local)
+            stats.thread_work += schedule.thread_work
+            stats.makespan += schedule.makespan
+            stats.truncated += results.truncated
+            stats.batches += 1
+            batch_index += 1
 
-        # The global checkpoint (Alg. 2 line 11).
-        walks = global_acc.walks
-        if walks >= cfg.min_walks and global_acc.self_relative_error < cfg.tolerance:
-            stats.converged = True
-            break
-        if walks >= cfg.max_walks:
-            break
+            # The global checkpoint (Alg. 2 line 11).
+            walks = global_acc.walks
+            if (
+                walks >= cfg.min_walks
+                and global_acc.self_relative_error < cfg.tolerance
+            ):
+                stats.converged = True
+                break
+            if walks >= cfg.max_walks:
+                break
+    finally:
+        runner.close()
+        if owned is not None:
+            owned.close()
 
     stats.walks = global_acc.walks
     stats.total_steps = global_acc.total_steps

@@ -26,11 +26,27 @@ Walk recipe (Sec. II-B):
 4. *Absorption*: within ``absorb_tol`` (Chebyshev) of a conductor, the walk
    ends there; within ``absorb_tol`` of the domain wall it ends on the
    enclosure conductor.  The walk's sample is ``x_ij = omega * [dest = j]``.
+
+The engine core is :class:`WalkPipeline`, a *refill-capable* vector loop:
+walks carry their own step counters, so the active set may mix walks from
+several batches at different depths.  When walks absorb, their vector slots
+are refilled with UIDs from subsequent batches instead of letting the active
+set shrink to a ragged tail — the vector width stays near the batch size for
+the whole run, which amortises the per-step fixed costs (index queries, mask
+bookkeeping) over full-width arrays.  Completed-walk results are banked per
+batch, so checkpoint consumers still see exactly the batch's UID set, in UID
+order, bit-identical to unpipelined execution (per-walk arithmetic is
+elementwise and draws are keyed by ``(uid, step)``, so co-scheduling never
+changes a walk's numbers).
+
+:func:`run_walks` — the historical batch API — is a thin wrapper running a
+single batch through the pipeline with refilling disabled.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -48,6 +64,350 @@ class WalkResults:
     dest: np.ndarray  # (n,) int64 absorbing conductor indices
     steps: np.ndarray  # (n,) int64 hops taken (incl. launch)
     truncated: int  # walks cut by the step cap (absorbed to enclosure)
+
+
+class _BatchBank:
+    """Result arrays of one batch, filled in as its walks retire."""
+
+    __slots__ = ("uids", "omega", "dest", "steps", "remaining", "truncated")
+
+    def __init__(self, uids: np.ndarray):
+        n = uids.shape[0]
+        self.uids = uids
+        self.omega = np.zeros(n, dtype=np.float64)
+        self.dest = np.full(n, -1, dtype=np.int64)
+        self.steps = np.zeros(n, dtype=np.int64)
+        self.remaining = n
+        self.truncated = 0
+
+    def results(self) -> WalkResults:
+        return WalkResults(
+            uids=self.uids,
+            omega=self.omega,
+            dest=self.dest,
+            steps=self.steps,
+            truncated=self.truncated,
+        )
+
+
+class WalkPipeline:
+    """Refill-capable walk engine with cross-batch pipelining.
+
+    Parameters
+    ----------
+    ctx:
+        Extraction context of the master conductor.
+    streams:
+        A per-walk stream provider (``WalkStreams`` or ``MTWalkStreams``).
+    feed:
+        ``feed(batch_index) -> uids | None``; called with consecutive batch
+        indices (0, 1, 2, ...) and returns that batch's UID array, or
+        ``None`` when the supply is exhausted.
+    width:
+        Target active-vector width (normally the batch size).
+    lookahead:
+        How many batches beyond the oldest outstanding one may be pulled in
+        to refill freed slots.  ``0`` disables cross-batch refilling (the
+        active set shrinks to a tail within each batch, as the plain batch
+        engine does); the walks' *results* are identical either way.
+    trace:
+        When given, per-step positions of all active walks are appended as
+        ``(rows_in_batch, positions)`` tuples (small single-batch runs only;
+        used by the scalar reference and Fig. 2).
+    """
+
+    def __init__(
+        self,
+        ctx: ExtractionContext,
+        streams,
+        feed: Callable[[int], np.ndarray | None],
+        width: int,
+        lookahead: int = 1,
+        trace: list | None = None,
+    ):
+        self.ctx = ctx
+        self.streams = streams
+        self.feed = feed
+        self.width = max(1, int(width))
+        self.lookahead = max(0, int(lookahead))
+        self.trace = trace
+        self._stack = ctx.structure.dielectric
+        self._interfaces = self._stack._z  # () for homogeneous
+        self._enclosure_index = ctx.enclosure_index
+        self._table = ctx.table
+        self._flux_scale = ctx.flux_scale
+        self._can_release = hasattr(streams, "release")
+
+        self._banks: dict[int, _BatchBank] = {}
+        self._next_feed = 0
+        self._next_emit = 0
+        self._pending: np.ndarray | None = None
+        self._pending_batch = -1
+        self._pending_off = 0
+        self._feed_done = False
+
+        # Active walk state (structure-of-arrays, compacted as walks retire).
+        self._uid = np.empty(0, dtype=np.uint64)
+        self._bank = np.empty(0, dtype=np.int64)
+        self._row = np.empty(0, dtype=np.int64)
+        self._step_no = np.empty(0, dtype=np.int64)
+        self._pos = np.empty((0, 3), dtype=np.float64)
+        self._eps = np.empty(0, dtype=np.float64)
+        self._first = np.empty(0, dtype=bool)
+        self._naxis = np.empty(0, dtype=np.int64)
+        self._nsign = np.empty(0, dtype=np.float64)
+
+    @property
+    def active(self) -> int:
+        """Number of in-flight walks."""
+        return self._uid.shape[0]
+
+    @property
+    def outstanding_batches(self) -> int:
+        """Batches fed but not yet emitted."""
+        return self._next_feed - self._next_emit
+
+    # ------------------------------------------------------------------
+    # Feeding and launching
+    # ------------------------------------------------------------------
+    def _ensure_pending(self) -> bool:
+        """Make sure un-launched UIDs are available; False when starved."""
+        while True:
+            if (
+                self._pending is not None
+                and self._pending_off < self._pending.shape[0]
+            ):
+                return True
+            if self._feed_done or self._next_feed > self._next_emit + self.lookahead:
+                return False
+            uids = self.feed(self._next_feed)
+            if uids is None:
+                self._feed_done = True
+                return False
+            uids = np.asarray(uids, dtype=np.uint64)
+            self._banks[self._next_feed] = _BatchBank(uids)
+            self._pending = uids
+            self._pending_batch = self._next_feed
+            self._pending_off = 0
+            self._next_feed += 1
+
+    def _refill(self) -> None:
+        launched = False
+        while self.active < self.width and self._ensure_pending():
+            off = self._pending_off
+            take = min(self.width - self.active, self._pending.shape[0] - off)
+            uids = self._pending[off : off + take]
+            rows = np.arange(off, off + take, dtype=np.int64)
+            self._pending_off = off + take
+            self._launch(uids, self._pending_batch, rows)
+            launched = True
+        if launched and self.trace is not None:
+            self.trace.append((self._row.copy(), self._pos.copy()))
+
+    def _launch(self, uids: np.ndarray, batch: int, rows: np.ndarray) -> None:
+        u = self.streams.draws(uids, 0, 3)
+        pos, naxis, nsign = self.ctx.surface.sample(u)
+        eps = self._stack.eps_at(pos[:, 2])
+        n = uids.shape[0]
+        if self.active == 0:
+            self._uid = uids.astype(np.uint64, copy=True)
+            self._bank = np.full(n, batch, dtype=np.int64)
+            self._row = rows
+            self._step_no = np.ones(n, dtype=np.int64)
+            self._pos = pos
+            self._eps = eps
+            self._first = np.ones(n, dtype=bool)
+            self._naxis = np.asarray(naxis, dtype=np.int64)
+            self._nsign = np.asarray(nsign, dtype=np.float64)
+        else:
+            self._uid = np.concatenate([self._uid, uids])
+            self._bank = np.concatenate([self._bank, np.full(n, batch, dtype=np.int64)])
+            self._row = np.concatenate([self._row, rows])
+            self._step_no = np.concatenate([self._step_no, np.ones(n, dtype=np.int64)])
+            self._pos = np.concatenate([self._pos, pos])
+            self._eps = np.concatenate([self._eps, eps])
+            self._first = np.concatenate([self._first, np.ones(n, dtype=bool)])
+            self._naxis = np.concatenate([self._naxis, np.asarray(naxis, dtype=np.int64)])
+            self._nsign = np.concatenate([self._nsign, np.asarray(nsign, dtype=np.float64)])
+
+    # ------------------------------------------------------------------
+    # Retiring and compaction
+    # ------------------------------------------------------------------
+    def _retire(
+        self,
+        mask: np.ndarray,
+        dest: np.ndarray,
+        steps: np.ndarray,
+        truncated: bool,
+    ) -> None:
+        """Bank the outcomes of the masked walks and release their streams."""
+        banks = self._bank[mask]
+        rows = self._row[mask]
+        for b in np.unique(banks):
+            sel = banks == b
+            bank = self._banks[int(b)]
+            bank.dest[rows[sel]] = dest[sel]
+            bank.steps[rows[sel]] = steps[sel]
+            count = int(sel.sum())
+            bank.remaining -= count
+            if truncated:
+                bank.truncated += count
+        if self._can_release:
+            # Each stream is released exactly once, when its walk retires
+            # (matters for the MTWalkStreams per-walk state cache).
+            self.streams.release(self._uid[mask])
+
+    def _compact(self, keep: np.ndarray) -> None:
+        self._uid = self._uid[keep]
+        self._bank = self._bank[keep]
+        self._row = self._row[keep]
+        self._step_no = self._step_no[keep]
+        self._pos = self._pos[keep]
+        self._eps = self._eps[keep]
+        self._first = self._first[keep]
+        self._naxis = self._naxis[keep]
+        self._nsign = self._nsign[keep]
+
+    def _store_omega(self, idx: np.ndarray, omega: np.ndarray) -> None:
+        banks = self._bank[idx]
+        rows = self._row[idx]
+        for b in np.unique(banks):
+            sel = banks == b
+            self._banks[int(b)].omega[rows[sel]] = omega[sel]
+
+    # ------------------------------------------------------------------
+    # The vector step
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        """Advance every active walk by one hop (identical math to the
+        historical batch loop; walks at different depths mix freely because
+        all per-walk operations are elementwise)."""
+        if self.active == 0:
+            return
+        cfg = self.ctx.config
+
+        # Safety net: treat over-cap survivors as absorbed by the enclosure.
+        over = self._step_no > cfg.max_steps
+        if np.any(over):
+            dest = np.full(int(over.sum()), self._enclosure_index, dtype=np.int64)
+            self._retire(over, dest, self._step_no[over], truncated=True)
+            self._compact(~over)
+            if self.active == 0:
+                return
+
+        pos = self._pos
+        dist_c, cond = self.ctx.index.query(pos)
+        dist_e = self.ctx.structure.enclosure_distance(pos)
+
+        absorb_wall = dist_e < self.ctx.absorb_tol
+        absorb_cond = (dist_c < self.ctx.absorb_tol) & (cond >= 0) & ~absorb_wall
+        done = absorb_wall | absorb_cond
+        if np.any(done & self._first):
+            raise ConvergenceError(
+                "walk absorbed before its first hop; the Gaussian surface "
+                "offset is smaller than the absorption tolerance"
+            )
+        if np.any(done):
+            dest = np.where(absorb_wall[done], self._enclosure_index, cond[done])
+            self._retire(done, dest, self._step_no[done], truncated=False)
+            keep = ~done
+            self._compact(keep)
+            dist_c = dist_c[keep]
+            dist_e = dist_e[keep]
+            if self.active == 0:
+                return
+
+        u = self.streams.draws(self._uid, self._step_no, 3)
+        allow = np.minimum(np.minimum(dist_c, dist_e), self.ctx.h_cap)
+        pos = self._pos
+        first = self._first
+
+        if self._stack.is_homogeneous:
+            on_iface = np.zeros(self.active, dtype=bool)
+            dist_i = np.full(self.active, np.inf)
+        else:
+            dist_i = self._stack.interface_distance(pos[:, 2])
+            # First hops never snap: the hemisphere step has no unbiased
+            # normal-gradient estimator across the interface, so the flux
+            # weight must come from an interface-clamped cube (the context
+            # guarantees launch points keep clearance from interfaces).
+            on_iface = (dist_i < cfg.interface_snap_fraction * allow) & ~first
+
+        new_pos = np.empty_like(pos)
+
+        cube = ~on_iface
+        if np.any(cube):
+            h = np.minimum(allow[cube], dist_i[cube])
+            # First hops carry the 1/h flux weight: floor h near interfaces
+            # (the cube then crosses the interface slightly — a small,
+            # bounded bias instead of unbounded weight variance).
+            floor = cfg.first_hop_interface_floor
+            if floor > 0.0 and np.any(first[cube]):
+                fc_mask = first[cube]
+                h[fc_mask] = np.maximum(h[fc_mask], floor * allow[cube][fc_mask])
+            cells = self._table.sample_cells(u[cube, 0])
+            unit = self._table.unit_positions(cells, u[cube, 1], u[cube, 2])
+            new_pos[cube] = (pos[cube] - h[:, None]) + unit * (2.0 * h)[:, None]
+            fc = first[cube]
+            if np.any(fc):
+                cube_idx = np.nonzero(cube)[0][fc]
+                ratio = self._table.grad_ratio[self._naxis[cube_idx], cells[fc]]
+                omega = (
+                    -self._flux_scale
+                    * self._eps[cube_idx]
+                    * self._nsign[cube_idx]
+                    * ratio
+                    / (2.0 * h[fc])
+                )
+                self._store_omega(cube_idx, omega)
+        if np.any(on_iface):
+            z = pos[on_iface, 2]
+            k = self._stack.nearest_interface(z)
+            z_k = self._stack.interface_z(k)
+            eps_below, eps_above = self._stack.interface_eps_pair(k)
+            # Sphere radius: stay clear of conductors/walls (minus the snap
+            # displacement) and of the other interfaces.
+            r = np.minimum(
+                allow[on_iface] - dist_i[on_iface],
+                _other_interface_gap(self._interfaces, k),
+            )
+            r = np.maximum(r, 0.5 * self.ctx.absorb_tol)
+            direction = interface_hemisphere_direction(
+                u[on_iface, 0], u[on_iface, 1], u[on_iface, 2], eps_below, eps_above
+            )
+            center = pos[on_iface].copy()
+            center[:, 2] = z_k
+            new_pos[on_iface] = center + r[:, None] * direction
+
+        self._pos = new_pos
+        self._first = np.zeros(self.active, dtype=bool)
+        self._step_no = self._step_no + 1
+        if self.trace is not None:
+            self.trace.append((self._row.copy(), self._pos.copy()))
+
+    # ------------------------------------------------------------------
+    # Batch emission
+    # ------------------------------------------------------------------
+    def next_batch(self) -> WalkResults | None:
+        """Run until the oldest outstanding batch completes and return it.
+
+        Slots freed by retiring walks are refilled with UIDs from up to
+        ``lookahead`` batches ahead, so later batches are typically already
+        in flight (or finished and banked) when their turn comes.  Returns
+        ``None`` when the feed is exhausted and no batch is outstanding.
+        """
+        target = self._next_emit
+        while True:
+            self._refill()
+            bank = self._banks.get(target)
+            if bank is not None and bank.remaining == 0:
+                break
+            if bank is None and self._feed_done:
+                return None
+            self._step()
+        self._next_emit += 1
+        del self._banks[target]
+        return bank.results()
 
 
 def run_walks(
@@ -71,136 +431,57 @@ def run_walks(
         batches only; used by the scalar reference and Fig. 2).
     """
     uids = np.asarray(uids, dtype=np.uint64)
+
+    def feed(batch_index: int) -> np.ndarray | None:
+        return uids if batch_index == 0 else None
+
+    pipe = WalkPipeline(
+        ctx, streams, feed, width=max(1, uids.shape[0]), lookahead=0, trace=trace
+    )
+    return pipe.next_batch()
+
+
+def run_walks_pipelined(
+    ctx: ExtractionContext,
+    streams,
+    uids: np.ndarray,
+    width: int,
+    lookahead: int = 1,
+) -> WalkResults:
+    """Run a fixed UID set through the refill pipeline in ``width``-sized
+    batches, reassembling per-batch results in UID order.
+
+    Bit-identical to :func:`run_walks` on the same UIDs; only the schedule
+    (and hence the throughput) differs.
+    """
+    uids = np.asarray(uids, dtype=np.uint64)
     n = uids.shape[0]
-    cfg = ctx.config
-    stack = ctx.structure.dielectric
-    enclosure_index = ctx.enclosure_index
-    table = ctx.table
+    width = max(1, int(width))
+    n_batches = (n + width - 1) // width
 
-    omega = np.zeros(n, dtype=np.float64)
-    dest = np.full(n, -1, dtype=np.int64)
-    steps = np.zeros(n, dtype=np.int64)
+    def feed(batch_index: int) -> np.ndarray | None:
+        if batch_index >= n_batches:
+            return None
+        return uids[batch_index * width : (batch_index + 1) * width]
 
-    # Step 0: launch on the Gaussian surface.
-    u = streams.draws(uids, 0, 3)
-    pos, normal_axis, normal_sign = ctx.surface.sample(u)
-    eps_r = stack.eps_at(pos[:, 2])
-    first = np.ones(n, dtype=bool)
-    active = np.arange(n, dtype=np.int64)
-    if trace is not None:
-        trace.append((active.copy(), pos.copy()))
-
-    flux_scale = ctx.flux_scale
-    interfaces = stack._z  # () for homogeneous
-    truncated = 0
-
-    step = 1
-    while active.shape[0]:
-        if step > cfg.max_steps:
-            # Safety net: treat survivors as absorbed by the enclosure.
-            dest[active] = enclosure_index
-            steps[active] = step
-            truncated += int(active.shape[0])
-            break
-        dist_c, cond = ctx.index.query(pos)
-        dist_e = ctx.structure.enclosure_distance(pos)
-
-        absorb_wall = dist_e < ctx.absorb_tol
-        absorb_cond = (dist_c < ctx.absorb_tol) & (cond >= 0) & ~absorb_wall
-        done = absorb_wall | absorb_cond
-        if np.any(done & first):
-            raise ConvergenceError(
-                "walk absorbed before its first hop; the Gaussian surface "
-                "offset is smaller than the absorption tolerance"
-            )
-        if np.any(done):
-            idx = active[done]
-            dest[idx] = np.where(
-                absorb_wall[done], enclosure_index, cond[done]
-            )
-            steps[idx] = step
-            if hasattr(streams, "release"):
-                streams.release(uids[idx])
-            keep = ~done
-            active = active[keep]
-            pos = pos[keep]
-            eps_r = eps_r[keep]
-            first = first[keep]
-            normal_axis = normal_axis[keep]
-            normal_sign = normal_sign[keep]
-            dist_c = dist_c[keep]
-            dist_e = dist_e[keep]
-            if not active.shape[0]:
-                break
-
-        u = streams.draws(uids[active], step, 3)
-        allow = np.minimum(np.minimum(dist_c, dist_e), ctx.h_cap)
-
-        if stack.is_homogeneous:
-            on_iface = np.zeros(active.shape[0], dtype=bool)
-            dist_i = np.full(active.shape[0], np.inf)
-        else:
-            dist_i = stack.interface_distance(pos[:, 2])
-            # First hops never snap: the hemisphere step has no unbiased
-            # normal-gradient estimator across the interface, so the flux
-            # weight must come from an interface-clamped cube (the context
-            # guarantees launch points keep clearance from interfaces).
-            on_iface = (dist_i < cfg.interface_snap_fraction * allow) & ~first
-
-        new_pos = np.empty_like(pos)
-
-        cube = ~on_iface
-        if np.any(cube):
-            h = np.minimum(allow[cube], dist_i[cube])
-            # First hops carry the 1/h flux weight: floor h near interfaces
-            # (the cube then crosses the interface slightly — a small,
-            # bounded bias instead of unbounded weight variance).
-            floor = cfg.first_hop_interface_floor
-            if floor > 0.0 and np.any(first[cube]):
-                fc_mask = first[cube]
-                h[fc_mask] = np.maximum(h[fc_mask], floor * allow[cube][fc_mask])
-            cells = table.sample_cells(u[cube, 0])
-            unit = table.unit_positions(cells, u[cube, 1], u[cube, 2])
-            new_pos[cube] = (pos[cube] - h[:, None]) + unit * (2.0 * h)[:, None]
-            fc = first[cube]
-            if np.any(fc):
-                cube_idx = np.nonzero(cube)[0][fc]
-                ratio = table.grad_ratio[
-                    normal_axis[cube_idx], cells[fc]
-                ]
-                omega[active[cube_idx]] = (
-                    -flux_scale
-                    * eps_r[cube_idx]
-                    * normal_sign[cube_idx]
-                    * ratio
-                    / (2.0 * h[fc])
-                )
-        if np.any(on_iface):
-            z = pos[on_iface, 2]
-            k = stack.nearest_interface(z)
-            z_k = stack.interface_z(k)
-            eps_below, eps_above = stack.interface_eps_pair(k)
-            # Sphere radius: stay clear of conductors/walls (minus the snap
-            # displacement) and of the other interfaces.
-            r = np.minimum(allow[on_iface] - dist_i[on_iface], _other_interface_gap(interfaces, k))
-            r = np.maximum(r, 0.5 * ctx.absorb_tol)
-            direction = interface_hemisphere_direction(
-                u[on_iface, 0], u[on_iface, 1], u[on_iface, 2], eps_below, eps_above
-            )
-            center = pos[on_iface].copy()
-            center[:, 2] = z_k
-            new_pos[on_iface] = center + r[:, None] * direction
-
-        pos = new_pos
-        first[:] = False
-        if trace is not None:
-            trace.append((active.copy(), pos.copy()))
-        step += 1
-
-    if hasattr(streams, "release"):
-        streams.release(uids)
+    pipe = WalkPipeline(ctx, streams, feed, width=width, lookahead=lookahead)
+    parts = []
+    for _ in range(n_batches):
+        parts.append(pipe.next_batch())
+    if not parts:
+        return WalkResults(
+            uids=uids,
+            omega=np.zeros(0, dtype=np.float64),
+            dest=np.full(0, -1, dtype=np.int64),
+            steps=np.zeros(0, dtype=np.int64),
+            truncated=0,
+        )
     return WalkResults(
-        uids=uids, omega=omega, dest=dest, steps=steps, truncated=truncated
+        uids=uids,
+        omega=np.concatenate([p.omega for p in parts]),
+        dest=np.concatenate([p.dest for p in parts]),
+        steps=np.concatenate([p.steps for p in parts]),
+        truncated=sum(p.truncated for p in parts),
     )
 
 

@@ -75,6 +75,26 @@ class RowAccumulator:
         self.walks += 1
         self.total_steps += steps
 
+    def add_walks_ordered(
+        self, omega: np.ndarray, dest: np.ndarray, steps: np.ndarray | None = None
+    ) -> None:
+        """Accumulate walks in the given array order, vectorised.
+
+        Bit-identical to calling :meth:`add_walk` once per element in array
+        order (per-destination slots are independent, so the summation
+        backends replay each slot's subsequence sequentially), but without
+        the per-walk Python call overhead.  This is the hot path of the
+        virtual-thread merge replay.
+        """
+        omega = np.asarray(omega, dtype=np.float64)
+        dest = np.asarray(dest, dtype=np.int64)
+        self.sum_w.add_ordered(dest, omega)
+        self.sum_w2.add_ordered(dest, omega * omega)
+        np.add.at(self.hits, dest, 1)
+        self.walks += int(dest.shape[0])
+        if steps is not None:
+            self.total_steps += int(np.sum(steps))
+
     def add_batch(
         self, omega: np.ndarray, dest: np.ndarray, steps: np.ndarray | None = None
     ) -> None:

@@ -82,7 +82,9 @@ def multilevel_extract(solver, masters: list[int] | None = None, min_threads_per
             else:
                 from .alg2_reproducible import extract_row_alg2
 
-                row, stat = extract_row_alg2(ctx, group_config)
+                row, stat = extract_row_alg2(
+                    ctx, group_config, executor=solver.walk_executor()
+                )
             rows[master] = row
             stats[master] = stat
     wall = time.perf_counter() - t0

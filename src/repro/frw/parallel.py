@@ -1,54 +1,80 @@
-"""Real shared-memory executors for batch walk computation.
+"""Real shared-memory executors and batch runners for walk computation.
 
 The virtual-thread scheduler reproduces parallel *floating-point behaviour*;
-this module provides actual concurrency for throughput: a batch's walk UIDs
-are split into chunks executed by a thread pool (NumPy releases the GIL in
-its inner loops, so threads overlap on multicore hosts).  Results are
-reassembled in UID order, so the extraction output is bit-identical to the
-serial engine — real parallelism changes wall time only, which is exactly
-the DOP-independence contract of Alg. 2.
+this module provides actual concurrency for throughput.  The centrepiece is
+:class:`PersistentExecutor`: a process or thread pool that is created once,
+reused across batches *and* master conductors, and shipped each
+:class:`~repro.frw.context.ExtractionContext` once — replacing the historical
+pool-per-call pattern.  A batch's walk UIDs are split into chunks executed by
+the pool (NumPy releases the GIL in its inner loops, so threads overlap on
+multicore hosts; the process backend sidesteps the GIL entirely) and results
+are reassembled in UID order, so the extraction output is bit-identical to
+the serial engine — real parallelism changes wall time only, which is
+exactly the DOP-independence contract of Alg. 2.
+
+On top of the executor sit the *batch runners* used by
+``extract_row_alg2``: each runner exposes ``run_batch(batch_index)`` and
+differs only in how the walks are scheduled:
+
+* :class:`SerialBatchRunner` — the historical one-batch-at-a-time engine.
+* :class:`PipelinedBatchRunner` — one refill-capable
+  :class:`~repro.frw.engine.WalkPipeline` spanning all batches.
+* :class:`ThreadedBatchRunner` — the batch is split into UID chunks; each
+  chunk owns a *slot pipeline* that persists across batches (cross-batch
+  pipelining per worker), and slot tasks run on the shared thread pool.
+* :class:`ProcessBatchRunner` — chunks dispatched to the persistent fork
+  pool (workers are stateless between batches, so no cross-batch
+  pipelining; contexts are shipped once, at fork).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..config import EXECUTOR_KINDS, FRWConfig
 from ..errors import ConfigError
 from .context import ExtractionContext
-from .engine import WalkResults, run_walks
+from .engine import WalkPipeline, WalkResults, run_walks
+
+#: A stream spec is ``(rng_kind, seed, stream)`` — enough to rebuild a
+#: per-walk stream provider anywhere (in a worker thread or a forked
+#: process), which is what makes "any worker can evaluate any walk" real.
+StreamSpec = tuple
 
 
-def run_walks_parallel(
-    ctx: ExtractionContext,
-    streams_factory,
-    uids: np.ndarray,
-    n_workers: int,
-    chunk_size: int | None = None,
-) -> WalkResults:
-    """Execute walks across a thread pool, preserving UID-order results.
+def stream_spec(config: FRWConfig, master: int) -> StreamSpec:
+    """The stream spec of one master under a config (domain-separated)."""
+    return (config.rng, config.seed, master)
 
-    ``streams_factory()`` must yield a fresh stream provider per worker
-    (counter streams are stateless so any number of providers agree
-    bit-for-bit).
-    """
-    uids = np.asarray(uids, dtype=np.uint64)
-    n = uids.shape[0]
-    workers = max(1, int(n_workers))
-    if workers == 1 or n < 2:
-        return run_walks(ctx, streams_factory(), uids)
-    if chunk_size is None:
-        chunk_size = max(64, (n + workers - 1) // workers)
-    chunks = [uids[start : start + chunk_size] for start in range(0, n, chunk_size)]
 
-    def work(chunk: np.ndarray) -> WalkResults:
-        return run_walks(ctx, streams_factory(), chunk)
+def streams_from_spec(spec: StreamSpec):
+    """Build a fresh per-walk stream provider from a spec."""
+    kind, seed, stream = spec
+    if kind == "mt":
+        from ..rng import MTWalkStreams
 
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        parts = list(pool.map(work, chunks))
-    return _reassemble(uids, parts)
+        return MTWalkStreams(seed, stream)
+    from ..rng import WalkStreams
+
+    return WalkStreams(seed, stream)
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Worker count with ``0`` meaning auto (the host CPU count)."""
+    if n_workers > 0:
+        return int(n_workers)
+    return os.cpu_count() or 1
+
+
+def _chunk_bounds(n: int, workers: int, chunk_size: int) -> list[tuple[int, int]]:
+    if chunk_size <= 0:
+        chunk_size = max(64, (n + workers - 1) // max(1, workers))
+    chunk_size = max(1, min(chunk_size, n)) if n else 1
+    return [(start, min(start + chunk_size, n)) for start in range(0, n, chunk_size)]
 
 
 def _reassemble(uids: np.ndarray, parts: list[WalkResults]) -> WalkResults:
@@ -62,20 +88,374 @@ def _reassemble(uids: np.ndarray, parts: list[WalkResults]) -> WalkResults:
 
 
 # ----------------------------------------------------------------------
-# Process-pool backend (distributed-memory flavour of the same contract).
+# Process-pool worker side.  Contexts are shipped once: the parent stores
+# them in _FORK_REGISTRY immediately before forking the pool, and workers
+# inherit that memory.  Per-batch messages then carry only (key, uids).
 # ----------------------------------------------------------------------
-_PROCESS_STATE: dict = {}
+_FORK_REGISTRY: dict = {}
+_WORKER_STREAMS: dict = {}
 
 
-def _process_init(ctx: ExtractionContext, seed: int, stream: int) -> None:
-    from ..rng import WalkStreams
+def _process_chunk(key: int, uids: np.ndarray) -> WalkResults:
+    ctx, spec = _FORK_REGISTRY[key]
+    streams = _WORKER_STREAMS.get(key)
+    if streams is None:
+        streams = streams_from_spec(spec)
+        _WORKER_STREAMS[key] = streams
+    return run_walks(ctx, streams, uids)
 
-    _PROCESS_STATE["ctx"] = ctx
-    _PROCESS_STATE["streams"] = WalkStreams(seed, stream)
+
+class PersistentExecutor:
+    """A walk-execution pool created once and reused for a whole extraction.
+
+    Parameters
+    ----------
+    backend:
+        ``"thread"`` or ``"process"`` (``"serial"`` is accepted and makes
+        :meth:`run` a plain engine call, for uniform call sites).
+    n_workers:
+        Pool width; ``0`` means auto (host CPU count).
+    chunk_size:
+        UIDs per work item; ``0`` means auto (even split over workers).
+
+    Contexts are registered once per master (:meth:`register`); thereafter
+    any number of batches can be dispatched with :meth:`run`.  The process
+    backend ships registered contexts to workers by forking *after*
+    registration, so per-batch messages carry only ``(key, uids)``;
+    registering a new context after the pool forked triggers one pool
+    restart (``FRWSolver.extract`` therefore registers all masters up
+    front).
+    """
+
+    def __init__(self, backend: str = "thread", n_workers: int = 0, chunk_size: int = 0):
+        if backend not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"executor backend must be one of {EXECUTOR_KINDS}, got {backend!r}"
+            )
+        self.backend = backend
+        self.n_workers = resolve_workers(n_workers)
+        self.chunk_size = int(chunk_size)
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool = None
+        self._registry: dict[int, tuple[ExtractionContext, StreamSpec]] = {}
+        self._keys: dict[tuple[int, StreamSpec], int] = {}
+        self._next_key = 0
+        self._version = 0
+        self._forked_version = -1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration (context shipping)
+    # ------------------------------------------------------------------
+    def register(self, ctx: ExtractionContext, spec: StreamSpec) -> int:
+        """Register a context + stream spec once; returns its dispatch key."""
+        ident = (id(ctx), spec)
+        key = self._keys.get(ident)
+        if key is not None:
+            return key
+        key = self._next_key
+        self._next_key += 1
+        self._registry[key] = (ctx, spec)
+        self._keys[ident] = key
+        self._version += 1
+        return key
+
+    # ------------------------------------------------------------------
+    # Pools
+    # ------------------------------------------------------------------
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="frw-walk"
+            )
+        return self._thread_pool
+
+    def _processes(self):
+        if self._process_pool is None or self._forked_version != self._version:
+            if self._process_pool is not None:
+                self._process_pool.terminate()
+                self._process_pool.join()
+                self._process_pool = None
+            try:
+                mp_ctx = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+                raise ConfigError("process backend requires fork support") from exc
+            # Ship every registered context to the workers via fork
+            # inheritance: set the module-level registry, then fork.
+            _FORK_REGISTRY.clear()
+            _FORK_REGISTRY.update(self._registry)
+            self._process_pool = mp_ctx.Pool(processes=self.n_workers)
+            self._forked_version = self._version
+        return self._process_pool
+
+    def submit(self, fn, *args):
+        """Schedule a callable on the thread pool (slot-pipeline tasks)."""
+        return self._threads().submit(fn, *args)
+
+    # ------------------------------------------------------------------
+    # Batch dispatch
+    # ------------------------------------------------------------------
+    def run(self, key: int, uids: np.ndarray) -> WalkResults:
+        """Execute one batch of walks, reassembled in UID order."""
+        uids = np.asarray(uids, dtype=np.uint64)
+        n = uids.shape[0]
+        ctx, spec = self._registry[key]
+        if self.backend == "serial" or self.n_workers == 1 or n < 2:
+            return run_walks(ctx, streams_from_spec(spec), uids)
+        bounds = _chunk_bounds(n, self.n_workers, self.chunk_size)
+        chunks = [uids[a:b] for a, b in bounds]
+        if self.backend == "thread":
+            futures = [
+                self._threads().submit(run_walks, ctx, streams_from_spec(spec), c)
+                for c in chunks
+            ]
+            parts = [f.result() for f in futures]
+        else:
+            parts = self._processes().starmap(
+                _process_chunk, [(key, c) for c in chunks]
+            )
+        return _reassemble(uids, parts)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pools down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.terminate()
+            self._process_pool.join()
+            self._process_pool = None
+
+    def __enter__(self) -> "PersistentExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
-def _process_chunk(uids: np.ndarray) -> WalkResults:
-    return run_walks(_PROCESS_STATE["ctx"], _PROCESS_STATE["streams"], uids)
+# ----------------------------------------------------------------------
+# Batch runners: uniform per-batch API over the scheduling strategies.
+# ----------------------------------------------------------------------
+class SerialBatchRunner:
+    """One batch at a time through the plain engine (the historical path)."""
+
+    def __init__(self, ctx: ExtractionContext, streams, batch_size: int):
+        self.ctx = ctx
+        self.streams = streams
+        self.batch_size = int(batch_size)
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        uids = np.arange(
+            batch_index * self.batch_size,
+            (batch_index + 1) * self.batch_size,
+            dtype=np.uint64,
+        )
+        return run_walks(self.ctx, self.streams, uids)
+
+    def close(self) -> None:
+        pass
+
+
+def _batch_feed(batch_size: int, lo: int = 0, hi: int | None = None):
+    """UID feed for ``WalkPipeline``: slice ``[lo, hi)`` of every batch."""
+    hi = batch_size if hi is None else hi
+
+    def feed(batch_index: int) -> np.ndarray:
+        base = batch_index * batch_size
+        return np.arange(base + lo, base + hi, dtype=np.uint64)
+
+    return feed
+
+
+class PipelinedBatchRunner:
+    """A single refill pipeline spanning all batches (serial hardware)."""
+
+    def __init__(
+        self, ctx: ExtractionContext, streams, batch_size: int, lookahead: int = 1
+    ):
+        self._pipe = WalkPipeline(
+            ctx,
+            streams,
+            _batch_feed(batch_size),
+            width=batch_size,
+            lookahead=lookahead,
+        )
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        return self._pipe.next_batch()
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadedBatchRunner:
+    """Slot pipelines over UID chunks, driven by the shared thread pool.
+
+    The batch is split into fixed UID chunks; chunk ``i`` is owned by slot
+    pipeline ``i``, which persists across batches and refills its vector
+    from chunk ``i`` of the *next* batch as its walks absorb — cross-batch
+    pipelining per worker.  One task per slot per batch runs on the
+    executor's persistent thread pool; slot results are concatenated in
+    chunk order, i.e. UID order.
+    """
+
+    def __init__(
+        self,
+        ctx: ExtractionContext,
+        spec: StreamSpec,
+        batch_size: int,
+        executor: PersistentExecutor,
+        pipeline: bool = True,
+        lookahead: int = 1,
+    ):
+        self.ctx = ctx
+        self.spec = spec
+        self.batch_size = int(batch_size)
+        self.executor = executor
+        self._bounds = _chunk_bounds(
+            self.batch_size, executor.n_workers, executor.chunk_size
+        )
+        self._pipes: list[WalkPipeline] | None = None
+        if pipeline:
+            self._pipes = [
+                WalkPipeline(
+                    ctx,
+                    streams_from_spec(spec),
+                    _batch_feed(self.batch_size, a, b),
+                    width=b - a,
+                    lookahead=lookahead,
+                )
+                for a, b in self._bounds
+            ]
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        base = batch_index * self.batch_size
+        uids = np.arange(base, base + self.batch_size, dtype=np.uint64)
+        if self._pipes is not None:
+            futures = [self.executor.submit(p.next_batch) for p in self._pipes]
+        else:
+            futures = [
+                self.executor.submit(
+                    run_walks, self.ctx, streams_from_spec(self.spec), uids[a:b]
+                )
+                for a, b in self._bounds
+            ]
+        parts = [f.result() for f in futures]
+        return _reassemble(uids, parts)
+
+    def close(self) -> None:
+        self._pipes = None  # drop in-flight walk state; the pool is shared
+
+
+class ProcessBatchRunner:
+    """Batches dispatched to the persistent fork pool, chunked per worker."""
+
+    def __init__(
+        self,
+        ctx: ExtractionContext,
+        spec: StreamSpec,
+        batch_size: int,
+        executor: PersistentExecutor,
+    ):
+        self.batch_size = int(batch_size)
+        self.executor = executor
+        self._key = executor.register(ctx, spec)
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        base = batch_index * self.batch_size
+        uids = np.arange(base, base + self.batch_size, dtype=np.uint64)
+        return self.executor.run(self._key, uids)
+
+    def close(self) -> None:
+        pass  # the pool is shared and owned elsewhere
+
+
+def make_batch_runner(
+    ctx: ExtractionContext,
+    config: FRWConfig,
+    executor: PersistentExecutor | None = None,
+):
+    """Pick the batch runner for a config.
+
+    Returns ``(runner, owned_executor)`` where ``owned_executor`` is a
+    :class:`PersistentExecutor` created here (caller must close it), or
+    ``None`` when the executor was supplied (e.g. by ``FRWSolver``, which
+    keeps one pool alive across masters) or not needed.
+    """
+    backend = config.executor
+    workers = (
+        executor.n_workers if executor is not None else resolve_workers(config.n_workers)
+    )
+    spec = stream_spec(config, ctx.master)
+    owned = None
+    if backend != "serial" and workers > 1 and executor is None:
+        owned = PersistentExecutor(backend, config.n_workers, config.chunk_size)
+        executor = owned
+    if backend == "serial" or workers <= 1 or executor is None:
+        streams = streams_from_spec(spec)
+        if config.pipeline:
+            runner = PipelinedBatchRunner(
+                ctx, streams, config.batch_size, config.pipeline_lookahead
+            )
+        else:
+            runner = SerialBatchRunner(ctx, streams, config.batch_size)
+    elif backend == "thread":
+        runner = ThreadedBatchRunner(
+            ctx,
+            spec,
+            config.batch_size,
+            executor,
+            pipeline=config.pipeline,
+            lookahead=config.pipeline_lookahead,
+        )
+    else:
+        runner = ProcessBatchRunner(ctx, spec, config.batch_size, executor)
+    return runner, owned
+
+
+# ----------------------------------------------------------------------
+# One-shot conveniences (kept for benchmarks and direct engine use; the
+# extraction path goes through PersistentExecutor + batch runners).
+# ----------------------------------------------------------------------
+def run_walks_parallel(
+    ctx: ExtractionContext,
+    streams_factory,
+    uids: np.ndarray,
+    n_workers: int,
+    chunk_size: int | None = None,
+) -> WalkResults:
+    """Execute one UID batch across a short-lived thread pool.
+
+    ``streams_factory()`` must yield a fresh stream provider per worker
+    (counter streams are stateless so any number of providers agree
+    bit-for-bit).  Results are reassembled in UID order.
+    """
+    uids = np.asarray(uids, dtype=np.uint64)
+    n = uids.shape[0]
+    workers = max(1, int(n_workers))
+    if workers == 1 or n < 2:
+        return run_walks(ctx, streams_factory(), uids)
+    bounds = _chunk_bounds(n, workers, int(chunk_size or 0))
+    chunks = [uids[a:b] for a, b in bounds]
+
+    def work(chunk: np.ndarray) -> WalkResults:
+        return run_walks(ctx, streams_factory(), chunk)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        parts = list(pool.map(work, chunks))
+    return _reassemble(uids, parts)
 
 
 def run_walks_processes(
@@ -86,7 +466,7 @@ def run_walks_processes(
     n_workers: int,
     chunk_size: int | None = None,
 ) -> WalkResults:
-    """Execute walks across worker *processes* (counter-stream based).
+    """Execute one UID batch across a short-lived fork pool.
 
     Mirrors the distributed-memory deployments of FRW solvers: workers
     share nothing but the structure (shipped once at pool start) and the
@@ -103,15 +483,6 @@ def run_walks_processes(
         from ..rng import WalkStreams
 
         return run_walks(ctx, WalkStreams(seed, stream), uids)
-    try:
-        mp_ctx = multiprocessing.get_context("fork")
-    except ValueError as exc:  # pragma: no cover - non-POSIX hosts
-        raise ConfigError("process backend requires fork support") from exc
-    if chunk_size is None:
-        chunk_size = max(64, (n + workers - 1) // workers)
-    chunks = [uids[start : start + chunk_size] for start in range(0, n, chunk_size)]
-    with mp_ctx.Pool(
-        processes=workers, initializer=_process_init, initargs=(ctx, seed, stream)
-    ) as pool:
-        parts = pool.map(_process_chunk, chunks)
-    return _reassemble(uids, parts)
+    with PersistentExecutor("process", workers, int(chunk_size or 0)) as executor:
+        key = executor.register(ctx, ("philox", seed, stream))
+        return executor.run(key, uids)

@@ -39,6 +39,7 @@ from .alg1_baseline import extract_row_alg1
 from .alg2_reproducible import RunStats, extract_row_alg2
 from .context import ExtractionContext, build_context
 from .estimator import CapacitanceRow
+from .parallel import PersistentExecutor, resolve_workers, stream_spec
 
 
 @dataclass
@@ -85,12 +86,22 @@ class ExtractionResult:
 
 
 class FRWSolver:
-    """Parallel FRW capacitance extractor for a :class:`Structure`."""
+    """Parallel FRW capacitance extractor for a :class:`Structure`.
+
+    The solver owns the real-concurrency resources: extraction contexts are
+    cached per master and, when the config selects a ``thread`` or
+    ``process`` executor with more than one worker, one
+    :class:`~repro.frw.parallel.PersistentExecutor` is created lazily and
+    reused across batches *and* masters.  Call :meth:`close` (or use the
+    solver as a context manager) to release the pools; results are
+    bit-identical across executor backends, so this only affects wall time.
+    """
 
     def __init__(self, structure: Structure, config: FRWConfig | None = None):
         self.structure = structure
         self.config = config if config is not None else FRWConfig()
         self._contexts: dict[int, ExtractionContext] = {}
+        self._executor: PersistentExecutor | None = None
 
     def context(self, master: int) -> ExtractionContext:
         """Cached extraction context for one master conductor."""
@@ -100,12 +111,40 @@ class FRWSolver:
             self._contexts[master] = ctx
         return ctx
 
+    def walk_executor(self) -> PersistentExecutor | None:
+        """The solver-owned persistent pool, or ``None`` for serial runs.
+
+        Created on first use; ``None`` whenever the config resolves to
+        serial execution (``executor="serial"`` or a single worker), in
+        which case the batch runners fall back to the in-process engine.
+        """
+        cfg = self.config
+        if cfg.executor == "serial" or resolve_workers(cfg.n_workers) <= 1:
+            return None
+        if self._executor is None:
+            self._executor = PersistentExecutor(
+                cfg.executor, cfg.n_workers, cfg.chunk_size
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release executor pools (idempotent; solver stays usable)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "FRWSolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def extract_row(self, master: int) -> tuple[CapacitanceRow, RunStats]:
         """Extract a single row of the capacitance matrix."""
         ctx = self.context(master)
         if self.config.variant == "alg1":
             return extract_row_alg1(ctx, self.config)
-        return extract_row_alg2(ctx, self.config)
+        return extract_row_alg2(ctx, self.config, executor=self.walk_executor())
 
     def extract(self, masters: list[int] | None = None) -> ExtractionResult:
         """Extract rows for the given masters (default: all conductors).
@@ -117,6 +156,14 @@ class FRWSolver:
             masters = list(range(len(self.structure.conductors)))
         if not masters:
             raise ConfigError("need at least one master conductor")
+        executor = self.walk_executor()
+        if executor is not None and executor.backend == "process":
+            # Register every master's context before the first batch so the
+            # fork pool ships them all at once and never restarts mid-run.
+            for master in masters:
+                executor.register(
+                    self.context(master), stream_spec(self.config, master)
+                )
         t0 = time.perf_counter()
         rows: list[CapacitanceRow] = []
         stats: list[RunStats] = []

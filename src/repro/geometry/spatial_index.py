@@ -6,11 +6,13 @@ sizes the transition cube and decides absorption.  Two implementations:
 
 * :class:`BruteForceIndex` — vectorised all-pairs distances; exact, best for
   small structures (hundreds of boxes).
-* :class:`GridIndex` — a uniform grid with lazily-built per-cell candidate
-  lists.  Since the walk engine caps the transition cube at ``h_cap``
-  anyway, a cell only needs candidates within ``h_cap`` of it; queries whose
-  true distance exceeds ``h_cap`` report exactly ``h_cap`` with no conductor,
-  which is sufficient (and exact) for the engine.
+* :class:`GridIndex` — a uniform grid whose per-cell candidate lists are
+  precomputed into flat CSR arrays at build time, so a query is a fully
+  vectorised gather + segment-min with no per-cell Python loop.  Since the
+  walk engine caps the transition cube at ``h_cap`` anyway, a cell only
+  needs candidates within ``h_cap`` of it; queries whose true distance
+  exceeds ``h_cap`` report exactly ``h_cap`` with no conductor, which is
+  sufficient (and exact) for the engine.
 
 Both return ``(distance, conductor_index)`` with ``conductor_index = -1``
 when no conductor is within range.
@@ -21,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import GeometryError
-from .box import distance_linf_many, nearest_box
+from .box import nearest_box
 from .structure import Structure
 
 
@@ -77,7 +79,7 @@ class GridIndex:
             1, np.floor(extent / edge).astype(np.int64)
         )
         self._cell = extent / self._n_cells
-        self._cache: dict[int, np.ndarray] = {}
+        self._build_csr()
 
     def _cell_ids(self, points: np.ndarray) -> np.ndarray:
         rel = (points - self._origin[None, :]) / self._cell[None, :]
@@ -85,24 +87,47 @@ class GridIndex:
         nx, ny = int(self._n_cells[0]), int(self._n_cells[1])
         return (ijk[:, 2] * ny + ijk[:, 1]) * nx + ijk[:, 0]
 
-    def _candidates(self, cell_id: int) -> np.ndarray:
-        cached = self._cache.get(cell_id)
-        if cached is not None:
-            return cached
-        nx, ny = int(self._n_cells[0]), int(self._n_cells[1])
-        ix = cell_id % nx
-        iy = (cell_id // nx) % ny
-        iz = cell_id // (nx * ny)
-        cell_lo = self._origin + np.array([ix, iy, iz]) * self._cell
-        cell_hi = cell_lo + self._cell
-        # Chebyshev gap between the cell box and each conductor box.
-        gaps = np.maximum(
-            np.maximum(self._lo - cell_hi[None, :], cell_lo[None, :] - self._hi),
-            0.0,
-        ).max(axis=1)
-        cand = np.nonzero(gaps <= self.h_cap)[0].astype(np.int64)
-        self._cache[cell_id] = cand
-        return cand
+    def _build_csr(self) -> None:
+        """Precompute per-cell candidate lists as flat CSR arrays.
+
+        A conductor box is a candidate of every cell within ``h_cap``
+        (Chebyshev) of it; the cell ranges are computed with one outward
+        guard cell so rounding can only *add* candidates, which is harmless
+        — a candidate farther than ``h_cap`` can never win a capped query.
+        Within each cell, candidates are stored in ascending box order so
+        ties resolve exactly as the brute-force argmin does.
+        """
+        nx, ny, nz = (int(v) for v in self._n_cells)
+        n_cells = nx * ny * nz
+        m = self._lo.shape[0]
+        cell_chunks: list[np.ndarray] = []
+        box_chunks: list[np.ndarray] = []
+        limits = np.array([nx, ny, nz], dtype=np.int64)
+        for b in range(m):
+            lo = (self._lo[b] - self.h_cap - self._origin) / self._cell
+            hi = (self._hi[b] + self.h_cap - self._origin) / self._cell
+            i0 = np.clip(np.floor(lo).astype(np.int64) - 1, 0, limits - 1)
+            i1 = np.clip(np.floor(hi).astype(np.int64) + 1, 0, limits - 1)
+            ii = np.arange(i0[0], i1[0] + 1, dtype=np.int64)
+            jj = np.arange(i0[1], i1[1] + 1, dtype=np.int64)
+            kk = np.arange(i0[2], i1[2] + 1, dtype=np.int64)
+            cells = (
+                (kk[:, None, None] * ny + jj[None, :, None]) * nx
+                + ii[None, None, :]
+            ).ravel()
+            cell_chunks.append(cells)
+            box_chunks.append(np.full(cells.shape[0], b, dtype=np.int64))
+        if cell_chunks:
+            all_cells = np.concatenate(cell_chunks)
+            all_boxes = np.concatenate(box_chunks)
+            order = np.argsort(all_cells, kind="stable")
+            self._indices = all_boxes[order]
+            counts = np.bincount(all_cells, minlength=n_cells)
+        else:
+            self._indices = np.empty(0, dtype=np.int64)
+            counts = np.zeros(n_cells, dtype=np.int64)
+        self._indptr = np.zeros(n_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._indptr[1:])
 
     def query(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Capped nearest Chebyshev distance and conductor index per point."""
@@ -113,21 +138,31 @@ class GridIndex:
         if n == 0 or self._lo.shape[0] == 0:
             return dist, cond
         cell_ids = self._cell_ids(points)
-        order = np.argsort(cell_ids, kind="stable")
-        sorted_ids = cell_ids[order]
-        boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
-        groups = np.split(order, boundaries)
-        for group in groups:
-            cand = self._candidates(int(cell_ids[group[0]]))
-            if cand.shape[0] == 0:
-                continue
-            pts = points[group]
-            d = distance_linf_many(pts, self._lo[cand], self._hi[cand])
-            local_idx = d.argmin(axis=1)
-            local_best = d[np.arange(group.shape[0]), local_idx]
-            within = local_best < self.h_cap
-            dist[group[within]] = local_best[within]
-            cond[group[within]] = self._owner[cand[local_idx[within]]]
+        start = self._indptr[cell_ids]
+        cnt = self._indptr[cell_ids + 1] - start
+        total = int(cnt.sum())
+        if total == 0:
+            return dist, cond
+        # Flat (point, candidate) pairs: point i contributes cnt[i] rows, in
+        # CSR (ascending box) order within each point.
+        pt = np.repeat(np.arange(n, dtype=np.int64), cnt)
+        seg_start = np.repeat(np.cumsum(cnt) - cnt, cnt)
+        flat = np.repeat(start, cnt) + (np.arange(total, dtype=np.int64) - seg_start)
+        cand = self._indices[flat]
+        p = points[pt]
+        d = np.maximum(
+            np.maximum(self._lo[cand] - p, p - self._hi[cand]), 0.0
+        ).max(axis=1)
+        np.minimum.at(dist, pt, d)
+        # Winner per point: the first candidate (lowest box index) achieving
+        # the segment minimum, matching the brute-force argmin tie-break.
+        hit = (d == dist[pt]) & (d < self.h_cap)
+        idx = np.nonzero(hit)[0]
+        if idx.shape[0]:
+            first = np.ones(idx.shape[0], dtype=bool)
+            first[1:] = pt[idx[1:]] != pt[idx[:-1]]
+            sel = idx[first]
+            cond[pt[sel]] = self._owner[cand[sel]]
         return dist, cond
 
 

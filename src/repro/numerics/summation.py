@@ -101,6 +101,31 @@ class KahanVector:
             self.compensation[index] += (x - t) + self.total[index]
         self.total[index] = t
 
+    def add_ordered(self, dest: np.ndarray, values: np.ndarray) -> None:
+        """Scatter-add ``values`` into slots ``dest``, preserving order.
+
+        Bit-identical to calling :meth:`add_at` once per element in array
+        order: slots are independent, so each slot's subsequence is replayed
+        through the scalar Neumaier recurrence on native floats.  This
+        replaces a per-walk Python call chain with one tight loop per
+        destination plus vectorised grouping.
+        """
+        dest = np.asarray(dest, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        for j in np.unique(dest):
+            seq = values[dest == j].tolist()
+            total = float(self.total[j])
+            comp = float(self.compensation[j])
+            for x in seq:
+                t = total + x
+                if abs(total) >= abs(x):
+                    comp += (total - t) + x
+                else:
+                    comp += (x - t) + total
+                total = t
+            self.total[j] = total
+            self.compensation[j] = comp
+
     def merge(self, other: "KahanVector") -> None:
         """Absorb another accumulator of the same shape."""
         self.add(other.total)
@@ -135,6 +160,16 @@ class NaiveVector:
 
     def add_at(self, index: int, x: float) -> None:
         self.total[index] = self.total[index] + x
+
+    def add_ordered(self, dest: np.ndarray, values: np.ndarray) -> None:
+        """Order-preserving scatter-add; bit-identical to per-element add_at.
+
+        ``np.add.at`` is unbuffered and applies repeated-index updates in
+        array order, which is exactly the sequential naive recurrence.
+        """
+        dest = np.asarray(dest, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        np.add.at(self.total, dest, values)
 
     def merge(self, other: "NaiveVector") -> None:
         self.total = self.total + other.total

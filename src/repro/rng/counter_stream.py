@@ -81,12 +81,17 @@ class WalkStreams:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WalkStreams(seed={self.seed}, stream={self.stream})"
 
-    def draws(self, uids: np.ndarray, step: int, count: int) -> np.ndarray:
+    def draws(
+        self, uids: np.ndarray, step: int | np.ndarray, count: int
+    ) -> np.ndarray:
         """Return ``(len(uids), count)`` uniforms in [0, 1).
 
         The result depends only on ``(seed, stream, uid, step, slot)`` — not
         on the order or grouping of ``uids`` — so batched evaluation is
-        bit-identical to scalar evaluation.
+        bit-identical to scalar evaluation.  ``step`` may be a scalar or a
+        per-walk array (the pipelined engine mixes walks at different
+        depths in one vector); each walk's draws depend only on its own
+        ``(uid, step)``.
         """
         if count < 1 or count > MAX_DRAWS_PER_STEP:
             raise RNGError(
@@ -98,10 +103,10 @@ class WalkStreams:
         out = np.empty((n, 2 * n_blocks), dtype=np.float64)
         c1 = (uids & np.uint64(_MASK32)).astype(np.uint32)
         c2 = (uids >> np.uint64(32)).astype(np.uint32)
-        base_block = step * BLOCKS_PER_STEP
+        base_block = np.asarray(step, dtype=np.uint64) * np.uint64(BLOCKS_PER_STEP)
         for j in range(n_blocks):
             w0, w1, w2, w3 = philox4x32(
-                np.uint32(base_block + j),
+                (base_block + np.uint64(j)).astype(np.uint32),
                 c1,
                 c2,
                 np.uint32(DOMAIN_TAG),

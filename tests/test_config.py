@@ -41,6 +41,10 @@ def test_with_replaces_fields():
         dict(tolerance=1.5),
         dict(min_walks=1),
         dict(min_walks=100, max_walks=50),
+        dict(executor="gpu"),
+        dict(n_workers=-1),
+        dict(chunk_size=-4),
+        dict(pipeline_lookahead=-1),
     ],
 )
 def test_invalid_configs_rejected(kwargs):

@@ -110,3 +110,37 @@ def test_spawn_copies_configuration():
     assert child.master == 2
     assert child.summation == "naive"
     assert child.walks == 0
+
+
+def test_add_walks_ordered_matches_add_walk_bitwise():
+    """The vectorised merge replay is bit-identical to the scalar loop."""
+    rng = np.random.default_rng(42)
+    n = 5
+    omega = rng.standard_normal(4000) * rng.choice([1e-8, 1.0, 1e8], 4000)
+    dest = rng.integers(0, n, 4000)
+    steps = rng.integers(1, 50, 4000)
+    for summation in ("kahan", "naive"):
+        scalar = RowAccumulator(n, 0, summation=summation)
+        for w in range(omega.shape[0]):
+            scalar.add_walk(float(omega[w]), int(dest[w]), int(steps[w]))
+        vector = RowAccumulator(n, 0, summation=summation)
+        vector.add_walks_ordered(omega, dest, steps)
+        assert np.array_equal(scalar.sum_w.value, vector.sum_w.value)
+        assert np.array_equal(scalar.sum_w2.value, vector.sum_w2.value)
+        assert np.array_equal(scalar.hits, vector.hits)
+        assert scalar.walks == vector.walks
+        assert scalar.total_steps == vector.total_steps
+        assert np.array_equal(scalar.row().values, vector.row().values)
+
+
+def test_add_walks_ordered_empty_and_incremental():
+    acc = RowAccumulator(3, 0)
+    acc.add_walks_ordered(np.array([]), np.array([], dtype=np.int64))
+    assert acc.walks == 0
+    acc.add_walk(1.5, 1, 3)
+    acc.add_walks_ordered(np.array([2.5, 0.5]), np.array([1, 2]), np.array([4, 5]))
+    ref = RowAccumulator(3, 0)
+    for w, d, s in [(1.5, 1, 3), (2.5, 1, 4), (0.5, 2, 5)]:
+        ref.add_walk(w, d, s)
+    assert np.array_equal(acc.sum_w.value, ref.sum_w.value)
+    assert acc.total_steps == ref.total_steps

@@ -57,3 +57,133 @@ def test_process_pool_single_worker_shortcut(plates):
     res = run_walks_processes(ctx, 77, 0, uids, n_workers=1)
     ref = run_walks(ctx, WalkStreams(77, 0), uids)
     assert np.array_equal(res.omega, ref.omega)
+
+
+# ----------------------------------------------------------------------
+# Persistent executors and batch runners
+# ----------------------------------------------------------------------
+import pytest
+
+from repro.frw import (
+    PersistentExecutor,
+    extract_row_alg2,
+    make_batch_runner,
+    stream_spec,
+)
+from repro.frw.solver import FRWSolver
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_persistent_executor_bitwise(plates, backend, n_workers):
+    """Any backend at any worker count is bit-identical to the serial engine."""
+    cfg = FRWConfig.frw_r(seed=77)
+    ctx = build_context(plates, 0, cfg)
+    uids = np.arange(700, dtype=np.uint64)
+    serial = run_walks(ctx, WalkStreams(77, 0), uids)
+    with PersistentExecutor(backend, n_workers=n_workers, chunk_size=96) as ex:
+        key = ex.register(ctx, stream_spec(cfg, 0))
+        res = ex.run(key, uids)
+    assert np.array_equal(serial.omega, res.omega)
+    assert np.array_equal(serial.dest, res.dest)
+    assert np.array_equal(serial.steps, res.steps)
+    assert serial.truncated == res.truncated
+
+
+def test_persistent_executor_reused_across_masters(plates):
+    """One pool serves several registered contexts (masters)."""
+    cfg = FRWConfig.frw_r(seed=5)
+    with PersistentExecutor("thread", n_workers=2) as ex:
+        for master in (0, 1):
+            ctx = build_context(plates, master, cfg)
+            key = ex.register(ctx, stream_spec(cfg, master))
+            uids = np.arange(300, dtype=np.uint64)
+            ref = run_walks(ctx, WalkStreams(5, master), uids)
+            res = ex.run(key, uids)
+            assert np.array_equal(ref.omega, res.omega)
+            assert np.array_equal(ref.dest, res.dest)
+
+
+def test_executor_register_is_idempotent(plates):
+    cfg = FRWConfig.frw_r(seed=5)
+    ctx = build_context(plates, 0, cfg)
+    with PersistentExecutor("thread", n_workers=2) as ex:
+        k1 = ex.register(ctx, stream_spec(cfg, 0))
+        k2 = ex.register(ctx, stream_spec(cfg, 0))
+        assert k1 == k2
+
+
+def test_executor_close_idempotent():
+    ex = PersistentExecutor("thread", n_workers=2)
+    ex.close()
+    ex.close()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(executor="serial", pipeline=True),
+        dict(executor="serial", pipeline=True, pipeline_lookahead=3),
+        dict(executor="thread", n_workers=1),
+        dict(executor="thread", n_workers=2),
+        dict(executor="thread", n_workers=4),
+        dict(executor="thread", n_workers=2, pipeline=False),
+        dict(executor="thread", n_workers=2, chunk_size=77),
+        dict(executor="process", n_workers=2),
+        dict(executor="process", n_workers=4),
+    ],
+)
+def test_extract_row_backends_bitwise(plates, kwargs):
+    """The acceptance criterion: the extracted row (values, sigma2, hits,
+    walks, steps) is bitwise identical across all executor backends and
+    worker counts — the knobs trade wall time only."""
+    base = dict(
+        seed=13, n_threads=4, batch_size=256, min_walks=512,
+        max_walks=1024, tolerance=1e-6,
+    )
+    ref_cfg = FRWConfig.frw_r(**base, executor="serial", pipeline=False)
+    ref_row, ref_stats = extract_row_alg2(build_context(plates, 0, ref_cfg))
+    cfg = FRWConfig.frw_r(**base, **kwargs)
+    row, stats = extract_row_alg2(build_context(plates, 0, cfg))
+    assert np.array_equal(row.values, ref_row.values)
+    assert np.array_equal(row.sigma2, ref_row.sigma2)
+    assert np.array_equal(row.hits, ref_row.hits)
+    assert row.walks == ref_row.walks
+    assert row.total_steps == ref_row.total_steps
+    assert stats.batches == ref_stats.batches
+
+
+def test_solver_owns_executor_lifecycle(plates):
+    cfg = FRWConfig.frw_r(
+        seed=13, batch_size=256, min_walks=512, max_walks=512,
+        executor="thread", n_workers=2,
+    )
+    with FRWSolver(plates, cfg) as solver:
+        ex = solver.walk_executor()
+        assert ex is not None
+        assert solver.walk_executor() is ex  # created once, reused
+        solver.extract_row(0)
+    assert solver._executor is None  # released on exit
+
+
+def test_solver_serial_config_has_no_executor(plates):
+    for cfg in (
+        FRWConfig.frw_r(executor="serial"),
+        FRWConfig.frw_r(executor="thread", n_workers=1),
+    ):
+        assert FRWSolver(plates, cfg).walk_executor() is None
+
+
+def test_make_batch_runner_serial_fallback(plates):
+    """executor='thread' with one worker degrades to the in-process path,
+    so the default config is safe on single-core hosts."""
+    from repro.frw.parallel import PipelinedBatchRunner, SerialBatchRunner
+
+    cfg = FRWConfig.frw_r(executor="thread", n_workers=1)
+    ctx = build_context(plates, 0, cfg)
+    runner, owned = make_batch_runner(ctx, cfg)
+    assert owned is None
+    assert isinstance(runner, PipelinedBatchRunner)
+    runner2, owned2 = make_batch_runner(ctx, cfg.with_(pipeline=False))
+    assert isinstance(runner2, SerialBatchRunner)
+    assert owned2 is None

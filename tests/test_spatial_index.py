@@ -48,14 +48,24 @@ def test_grid_matches_brute_force_under_cap(seed):
     assert np.all(c_g[far] == -1)
 
 
-def test_grid_cache_reuse():
+def test_grid_csr_structure():
+    """Candidate lists are precomputed into consistent CSR arrays."""
     s = random_structure(3)
     grid = GridIndex(s, h_cap=2.0)
+    n_cells = int(np.prod(grid._n_cells))
+    assert grid._indptr.shape == (n_cells + 1,)
+    assert grid._indptr[0] == 0
+    assert grid._indptr[-1] == grid._indices.shape[0]
+    assert np.all(np.diff(grid._indptr) >= 0)
+    # Within each cell, candidates are sorted ascending (argmin tie-break).
+    for c in range(0, n_cells, max(1, n_cells // 50)):
+        cand = grid._indices[grid._indptr[c] : grid._indptr[c + 1]]
+        assert np.all(np.diff(cand) > 0)
+    # Queries are pure: repeating them gives identical answers.
     pts = np.full((5, 3), 10.0)
-    grid.query(pts)
-    cached = len(grid._cache)
-    grid.query(pts)
-    assert len(grid._cache) == cached  # same cell: no growth
+    d1, c1 = grid.query(pts)
+    d2, c2 = grid.query(pts)
+    assert np.array_equal(d1, d2) and np.array_equal(c1, c2)
 
 
 def test_grid_rejects_bad_cap():
