@@ -12,6 +12,17 @@ configurations so future changes can track the trajectory:
   defaults (pipelined engine + vectorised ordered merge replay; the
   thread/process executors engage automatically on multi-core hosts).
 
+``engine_pipelined`` additionally reports the per-stage timing breakdown
+(rng / index / sample / bookkeeping) from the engine's
+:class:`~repro.frw.engine.StageTimers`, so a regression is attributable to
+a stage, not just a total.
+
+The output file is a *trajectory*: every invocation appends a timestamped
+entry (with git revision and host info) to the ``runs`` list instead of
+overwriting the snapshot, so the perf history is tracked across PRs.  A
+pre-trajectory single-snapshot file is converted into the first run on the
+next append.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [-o BENCH_engine.json]
@@ -23,12 +34,20 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 
 import numpy as np
 
 from repro import FRWConfig
-from repro.frw import build_context, extract_row_alg2, run_walks, run_walks_pipelined
+from repro.frw import (
+    StageTimers,
+    build_context,
+    extract_row_alg2,
+    run_walks,
+    run_walks_pipelined,
+)
 from repro.frw.alg2_reproducible import machine_rng, make_streams
 from repro.frw.estimator import RowAccumulator
 from repro.frw.scheduler import jittered_durations, simulate_dynamic_queue
@@ -69,12 +88,22 @@ def bench_engine_pipelined(ctx):
     uids = np.arange(N_BATCHES * BATCH, dtype=np.uint64)
 
     def run():
-        return run_walks_pipelined(
-            ctx, WalkStreams(SEED), uids, width=BATCH, lookahead=2
+        timers = StageTimers()
+        res = run_walks_pipelined(
+            ctx, WalkStreams(SEED), uids, width=BATCH, lookahead=2, timers=timers
         )
+        return res, timers
 
-    secs, res = _time(run)
-    return secs, uids.shape[0], int(res.steps.sum())
+    best = float("inf")
+    out = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        res, timers = run()
+        secs = time.perf_counter() - t0
+        if secs < best:
+            best, out = secs, (res, timers)
+    res, timers = out
+    return best, uids.shape[0], int(res.steps.sum()), timers
 
 
 def _extract_config(**overrides):
@@ -131,6 +160,53 @@ def bench_extract_default(structure):
     return secs, stats.walks, stats.total_steps
 
 
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - no git on host
+        return "unknown"
+
+
+def _load_trajectory(path: str, case: int) -> dict:
+    """Load (or initialise) the trajectory file, converting a legacy
+    single-snapshot payload into the first run entry."""
+    header = {
+        "benchmark": "engine_throughput",
+        "case": case,
+        "batch_size": BATCH,
+        "n_batches": N_BATCHES,
+        "runs": [],
+    }
+    if not os.path.exists(path):
+        return header
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return header
+    if "runs" in payload:
+        payload.setdefault("benchmark", "engine_throughput")
+        return payload
+    # Legacy single snapshot: lift its measurement fields into runs[0].
+    legacy = {
+        k: payload[k]
+        for k in ("host", "results", "speedups")
+        if k in payload
+    }
+    legacy["note"] = "converted from single-snapshot format"
+    header["case"] = payload.get("case", case)
+    header["runs"] = [legacy]
+    return header
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_engine.json")
@@ -141,13 +217,22 @@ def main() -> None:
     ctx = build_context(structure, 0, FRWConfig.frw_r(seed=SEED))
 
     results = {}
+    stage_breakdown = None
     for name, fn, arg in [
         ("engine_plain", bench_engine_plain, ctx),
         ("engine_pipelined", bench_engine_pipelined, ctx),
         ("extract_seed_style", bench_extract_seed_style, structure),
         ("extract_default", bench_extract_default, structure),
     ]:
-        secs, walks, steps = fn(arg)
+        out = fn(arg)
+        if name == "engine_pipelined":
+            secs, walks, steps, timers = out
+            stage_breakdown = {
+                stage: round(value, 6) if isinstance(value, float) else value
+                for stage, value in timers.as_dict().items()
+            }
+        else:
+            secs, walks, steps = out
         results[name] = {
             "seconds": round(secs, 6),
             "walks": walks,
@@ -160,18 +245,19 @@ def main() -> None:
             f"{results[name]['walks_per_sec']:>10.0f} walks/s   "
             f"{results[name]['steps_per_sec']:>11.0f} steps/s"
         )
+    print("engine_pipelined stage breakdown (s):", stage_breakdown)
 
-    payload = {
-        "benchmark": "engine_throughput",
-        "case": args.case,
-        "batch_size": BATCH,
-        "n_batches": N_BATCHES,
+    trajectory = _load_trajectory(args.output, args.case)
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
         "host": {
             "cpu_count": os.cpu_count(),
             "machine": platform.machine(),
             "python": platform.python_version(),
         },
         "results": results,
+        "engine_pipelined_stages": stage_breakdown,
         "speedups": {
             "pipelined_vs_plain_engine": round(
                 results["engine_pipelined"]["walks_per_sec"]
@@ -185,10 +271,19 @@ def main() -> None:
             ),
         },
     }
+    runs = trajectory["runs"]
+    if runs:
+        base = runs[0].get("results", {}).get("engine_pipelined", {})
+        base_rate = base.get("steps_per_sec")
+        if base_rate:
+            entry["speedups"]["pipelined_vs_first_run"] = round(
+                results["engine_pipelined"]["steps_per_sec"] / base_rate, 3
+            )
+    runs.append(entry)
     with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.output}")
+    print(f"appended run {len(runs)} to {args.output}")
 
 
 if __name__ == "__main__":

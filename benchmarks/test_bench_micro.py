@@ -91,6 +91,16 @@ def test_grid_index_query(benchmark, case3_fast):
     benchmark(index.query, pts)
 
 
+def test_grid_index_build_thousands(benchmark):
+    """CSR build over thousands of boxes: the batched cell-range expansion
+    (historically a per-box Python loop, O(m) interpreter iterations)."""
+    from repro.structures.large import large_grid
+
+    structure = large_grid(50, 50)  # 2501 boxes
+    assert structure.n_boxes > 2000
+    benchmark(GridIndex, structure, 2.0)
+
+
 def test_surface_sampling(benchmark, ctx_case1):
     u = np.random.default_rng(2).random((10_000, 3))
     benchmark(ctx_case1.surface.sample, u)

@@ -11,7 +11,14 @@ from .alg2_reproducible import (
     make_streams,
 )
 from .context import ExtractionContext, build_context
-from .engine import WalkPipeline, WalkResults, run_walks, run_walks_pipelined
+from .engine import (
+    ArenaWorkspace,
+    StageTimers,
+    WalkPipeline,
+    WalkResults,
+    run_walks,
+    run_walks_pipelined,
+)
 from .estimator import CapacitanceRow, RowAccumulator
 from .multilevel import GroupPlan, multilevel_extract, plan_groups
 from .parallel import (
@@ -56,6 +63,8 @@ __all__ = [
     "multilevel_extract",
     "plan_groups",
     "run_single_walk",
+    "ArenaWorkspace",
+    "StageTimers",
     "run_walks",
     "run_walks_parallel",
     "run_walks_pipelined",

@@ -27,25 +27,46 @@ Walk recipe (Sec. II-B):
    ends there; within ``absorb_tol`` of the domain wall it ends on the
    enclosure conductor.  The walk's sample is ``x_ij = omega * [dest = j]``.
 
-The engine core is :class:`WalkPipeline`, a *refill-capable* vector loop:
-walks carry their own step counters, so the active set may mix walks from
-several batches at different depths.  When walks absorb, their vector slots
-are refilled with UIDs from subsequent batches instead of letting the active
-set shrink to a ragged tail — the vector width stays near the batch size for
-the whole run, which amortises the per-step fixed costs (index queries, mask
-bookkeeping) over full-width arrays.  Completed-walk results are banked per
-batch, so checkpoint consumers still see exactly the batch's UID set, in UID
-order, bit-identical to unpipelined execution (per-walk arithmetic is
-elementwise and draws are keyed by ``(uid, step)``, so co-scheduling never
-changes a walk's numbers).
+The engine core is :class:`WalkPipeline`, a *refill-capable* vector loop
+over a fixed-capacity **slot arena** (:class:`ArenaWorkspace`): all
+per-walk state lives in arrays preallocated at ``width`` capacity, the
+active walks occupy the dense prefix ``[0, n)``, and every slot past ``n``
+is free.  Retiring walks frees slots by moving kept walks from the tail of
+the prefix into the holes (a vectorised scatter — the free-list is the
+tail, kept dense so every per-step kernel runs on contiguous views);
+launching scatter-writes new walks into the freed tail slots.  Steady-state
+steps therefore perform **zero array reallocation** of walk state: the
+step's own temporaries come from the same reusable workspace, and draws are
+generated straight into a preallocated buffer by the fused Philox kernel.
+
+Walks carry their own step counters, so the active set may mix walks from
+several batches at different depths.  When walks absorb, their slots are
+refilled with UIDs from subsequent batches instead of letting the active
+set shrink to a ragged tail — the vector width stays near the batch size
+for the whole run.  Completed-walk results are scatter-banked by global row
+into a flat result window covering the outstanding batches (no per-batch
+Python loops), so checkpoint consumers still see exactly the batch's UID
+set, in UID order, bit-identical to unpipelined execution (per-walk
+arithmetic is elementwise and draws are keyed by ``(uid, step)``, so
+co-scheduling never changes a walk's numbers — the slot a walk occupies is
+invisible to its arithmetic).
 
 :func:`run_walks` — the historical batch API — is a thin wrapper running a
-single batch through the pipeline with refilling disabled.
+single batch through the pipeline with refilling disabled; it reuses one
+thread-local workspace across calls, so repeated batch runs (e.g. executor
+chunk tasks) share a warm arena.
+
+Per-stage costs (rng / index / sample / bookkeeping) can be measured by
+passing a :class:`StageTimers` to the pipeline; the engine benchmark
+reports the breakdown.
 """
 
 from __future__ import annotations
 
+import inspect
+import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -66,28 +87,119 @@ class WalkResults:
     truncated: int  # walks cut by the step cap (absorbed to enclosure)
 
 
-class _BatchBank:
-    """Result arrays of one batch, filled in as its walks retire."""
+@dataclass
+class StageTimers:
+    """Accumulated wall time of the engine's per-step stages.
 
-    __slots__ = ("uids", "omega", "dest", "steps", "remaining", "truncated")
+    ``rng`` — counter-stream draws; ``index`` — nearest-conductor and
+    enclosure distance queries; ``sample`` — surface/cube-kernel sampling
+    and the position update; ``bookkeeping`` — masks, retiring, slot
+    compaction, launches and result banking.
+    """
 
-    def __init__(self, uids: np.ndarray):
-        n = uids.shape[0]
-        self.uids = uids
-        self.omega = np.zeros(n, dtype=np.float64)
-        self.dest = np.full(n, -1, dtype=np.int64)
-        self.steps = np.zeros(n, dtype=np.int64)
-        self.remaining = n
-        self.truncated = 0
+    rng: float = 0.0
+    index: float = 0.0
+    sample: float = 0.0
+    bookkeeping: float = 0.0
+    steps: int = 0
 
-    def results(self) -> WalkResults:
-        return WalkResults(
-            uids=self.uids,
-            omega=self.omega,
-            dest=self.dest,
-            steps=self.steps,
-            truncated=self.truncated,
-        )
+    def lap(self, stage: str, t0: float) -> float:
+        """Charge ``now - t0`` to ``stage``; returns the new timestamp."""
+        t1 = perf_counter()
+        setattr(self, stage, getattr(self, stage) + (t1 - t0))
+        return t1
+
+    @property
+    def total(self) -> float:
+        """Sum over all stages."""
+        return self.rng + self.index + self.sample + self.bookkeeping
+
+    def as_dict(self) -> dict:
+        """Stage seconds plus the step count (for steps/sec rates)."""
+        return {
+            "rng": self.rng,
+            "index": self.index,
+            "sample": self.sample,
+            "bookkeeping": self.bookkeeping,
+            "total": self.total,
+            "steps": self.steps,
+        }
+
+
+class ArenaWorkspace:
+    """Preallocated slot-arena state and step scratch for a pipeline.
+
+    All arrays are sized to ``capacity`` walks and reused for every step;
+    a workspace may be handed to successive pipelines (``run_walks`` keeps
+    one per thread) but must never be shared by two pipelines running
+    concurrently.
+    """
+
+    __slots__ = (
+        "capacity",
+        "uid",
+        "grow",
+        "row",
+        "step_no",
+        "pos",
+        "pos_next",
+        "eps",
+        "first",
+        "naxis",
+        "nsign",
+        "u4",
+        "h",
+        "h2",
+        "b0",
+        "b1",
+        "b2",
+        "b3",
+        "b4",
+    )
+
+    def __init__(self, capacity: int):
+        self.capacity = 0
+        self.ensure(capacity)
+
+    def ensure(self, capacity: int) -> None:
+        """Grow every buffer to at least ``capacity`` slots."""
+        capacity = max(1, int(capacity))
+        if capacity <= self.capacity:
+            return
+        self.capacity = capacity
+        self.uid = np.empty(capacity, dtype=np.uint64)
+        self.grow = np.empty(capacity, dtype=np.int64)
+        self.row = np.empty(capacity, dtype=np.int64)
+        # uint64 so the RNG's counter build consumes it without a cast copy.
+        self.step_no = np.empty(capacity, dtype=np.uint64)
+        self.pos = np.empty((capacity, 3), dtype=np.float64)
+        self.pos_next = np.empty((capacity, 3), dtype=np.float64)
+        self.eps = np.empty(capacity, dtype=np.float64)
+        self.first = np.zeros(capacity, dtype=bool)
+        self.naxis = np.empty(capacity, dtype=np.int64)
+        self.nsign = np.empty(capacity, dtype=np.float64)
+        self.u4 = np.empty((capacity, 4), dtype=np.float64)
+        self.h = np.empty(capacity, dtype=np.float64)
+        self.h2 = np.empty(capacity, dtype=np.float64)
+        self.b0 = np.empty(capacity, dtype=bool)
+        self.b1 = np.empty(capacity, dtype=bool)
+        self.b2 = np.empty(capacity, dtype=bool)
+        self.b3 = np.empty(capacity, dtype=bool)
+        self.b4 = np.empty(capacity, dtype=bool)
+
+
+_THREAD_WS = threading.local()
+
+
+def _thread_workspace(capacity: int) -> ArenaWorkspace:
+    """The calling thread's reusable arena (grown to ``capacity``)."""
+    ws = getattr(_THREAD_WS, "ws", None)
+    if ws is None:
+        ws = ArenaWorkspace(capacity)
+        _THREAD_WS.ws = ws
+    else:
+        ws.ensure(capacity)
+    return ws
 
 
 class WalkPipeline:
@@ -104,7 +216,8 @@ class WalkPipeline:
         indices (0, 1, 2, ...) and returns that batch's UID array, or
         ``None`` when the supply is exhausted.
     width:
-        Target active-vector width (normally the batch size).
+        Target active-vector width (normally the batch size); also the slot
+        arena's capacity.
     lookahead:
         How many batches beyond the oldest outstanding one may be pulled in
         to refill freed slots.  ``0`` disables cross-batch refilling (the
@@ -113,7 +226,13 @@ class WalkPipeline:
     trace:
         When given, per-step positions of all active walks are appended as
         ``(rows_in_batch, positions)`` tuples (small single-batch runs only;
-        used by the scalar reference and Fig. 2).
+        used by the scalar reference and Fig. 2).  Frame-internal order is
+        unspecified — consumers map rows by value.
+    workspace:
+        Optional :class:`ArenaWorkspace` to (re)use; one is allocated when
+        omitted.  Must not be shared with a concurrently running pipeline.
+    timers:
+        Optional :class:`StageTimers` accumulating per-stage wall time.
     """
 
     def __init__(
@@ -124,6 +243,8 @@ class WalkPipeline:
         width: int,
         lookahead: int = 1,
         trace: list | None = None,
+        workspace: ArenaWorkspace | None = None,
+        timers: StageTimers | None = None,
     ):
         self.ctx = ctx
         self.streams = streams
@@ -131,36 +252,65 @@ class WalkPipeline:
         self.width = max(1, int(width))
         self.lookahead = max(0, int(lookahead))
         self.trace = trace
+        self._timers = timers
         self._stack = ctx.structure.dielectric
         self._interfaces = self._stack._z  # () for homogeneous
         self._enclosure_index = ctx.enclosure_index
         self._table = ctx.table
         self._flux_scale = ctx.flux_scale
         self._can_release = hasattr(streams, "release")
+        try:
+            self._draws_out = (
+                "out" in inspect.signature(streams.draws).parameters
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic providers
+            self._draws_out = False
+        enc = ctx.structure.enclosure
+        self._enc_lo = np.asarray(enc.lo, dtype=np.float64)
+        self._enc_hi = np.asarray(enc.hi, dtype=np.float64)
 
-        self._banks: dict[int, _BatchBank] = {}
         self._next_feed = 0
         self._next_emit = 0
         self._pending: np.ndarray | None = None
-        self._pending_batch = -1
+        self._pending_start_g = 0
         self._pending_off = 0
         self._feed_done = False
 
-        # Active walk state (structure-of-arrays, compacted as walks retire).
-        self._uid = np.empty(0, dtype=np.uint64)
-        self._bank = np.empty(0, dtype=np.int64)
-        self._row = np.empty(0, dtype=np.int64)
-        self._step_no = np.empty(0, dtype=np.int64)
-        self._pos = np.empty((0, 3), dtype=np.float64)
-        self._eps = np.empty(0, dtype=np.float64)
-        self._first = np.empty(0, dtype=bool)
-        self._naxis = np.empty(0, dtype=np.int64)
-        self._nsign = np.empty(0, dtype=np.float64)
+        # Flat result window over the outstanding (fed, unemitted) batches.
+        # Each walk banks its outcome by *global row* — a scatter write, no
+        # per-batch grouping loops.
+        self._win_uids: list[np.ndarray] = []
+        self._win_sizes: list[int] = []
+        self._win_starts = np.empty(0, dtype=np.int64)  # global start rows
+        self._win_remaining = np.empty(0, dtype=np.int64)
+        self._win_truncated = np.empty(0, dtype=np.int64)
+        self._res_omega = np.empty(0, dtype=np.float64)
+        self._res_dest = np.empty(0, dtype=np.int64)
+        self._res_steps = np.empty(0, dtype=np.int64)
+        self._win_base_g = 0  # global row of the window's first slot
+        self._next_g = 0  # next global row to assign
+
+        # Slot arena: active walks occupy [0, n); everything past is free.
+        ws = workspace if workspace is not None else ArenaWorkspace(self.width)
+        ws.ensure(self.width)
+        self._ws = ws
+        self._uid = ws.uid
+        self._grow = ws.grow
+        self._row = ws.row
+        self._step_no = ws.step_no
+        self._pos = ws.pos
+        self._pos_next = ws.pos_next
+        self._eps = ws.eps
+        self._first = ws.first
+        self._naxis = ws.naxis
+        self._nsign = ws.nsign
+        self._n = 0
+        self._have_first = False
 
     @property
     def active(self) -> int:
         """Number of in-flight walks."""
-        return self._uid.shape[0]
+        return self._n
 
     @property
     def outstanding_batches(self) -> int:
@@ -185,95 +335,134 @@ class WalkPipeline:
                 self._feed_done = True
                 return False
             uids = np.asarray(uids, dtype=np.uint64)
-            self._banks[self._next_feed] = _BatchBank(uids)
+            n = uids.shape[0]
+            self._win_uids.append(uids)
+            self._win_sizes.append(n)
+            self._win_starts = np.append(self._win_starts, self._next_g)
+            self._win_remaining = np.append(self._win_remaining, n)
+            self._win_truncated = np.append(self._win_truncated, 0)
+            if n:
+                self._res_omega = np.concatenate(
+                    [self._res_omega, np.zeros(n, dtype=np.float64)]
+                )
+                self._res_dest = np.concatenate(
+                    [self._res_dest, np.full(n, -1, dtype=np.int64)]
+                )
+                self._res_steps = np.concatenate(
+                    [self._res_steps, np.zeros(n, dtype=np.int64)]
+                )
             self._pending = uids
-            self._pending_batch = self._next_feed
+            self._pending_start_g = self._next_g
             self._pending_off = 0
+            self._next_g += n
             self._next_feed += 1
 
     def _refill(self) -> None:
         launched = False
-        while self.active < self.width and self._ensure_pending():
+        while self._n < self.width and self._ensure_pending():
             off = self._pending_off
-            take = min(self.width - self.active, self._pending.shape[0] - off)
+            take = min(self.width - self._n, self._pending.shape[0] - off)
             uids = self._pending[off : off + take]
-            rows = np.arange(off, off + take, dtype=np.int64)
             self._pending_off = off + take
-            self._launch(uids, self._pending_batch, rows)
+            self._launch(uids, self._pending_start_g, off)
             launched = True
         if launched and self.trace is not None:
-            self.trace.append((self._row.copy(), self._pos.copy()))
+            n = self._n
+            self.trace.append((self._row[:n].copy(), self._pos[:n].copy()))
 
-    def _launch(self, uids: np.ndarray, batch: int, rows: np.ndarray) -> None:
-        u = self.streams.draws(uids, 0, 3)
+    def _launch(self, uids: np.ndarray, start_g: int, off: int) -> None:
+        """Scatter-write freshly launched walks into free tail slots."""
+        tm = self._timers
+        if tm is not None:
+            t0 = perf_counter()
+        k = uids.shape[0]
+        n = self._n
+        sl = slice(n, n + k)
+        if self._draws_out:
+            u = self.streams.draws(uids, 0, 3, out=self._ws.u4[:k])
+        else:
+            u = self.streams.draws(uids, 0, 3)
+        if tm is not None:
+            t0 = tm.lap("rng", t0)
         pos, naxis, nsign = self.ctx.surface.sample(u)
         eps = self._stack.eps_at(pos[:, 2])
-        n = uids.shape[0]
-        if self.active == 0:
-            self._uid = uids.astype(np.uint64, copy=True)
-            self._bank = np.full(n, batch, dtype=np.int64)
-            self._row = rows
-            self._step_no = np.ones(n, dtype=np.int64)
-            self._pos = pos
-            self._eps = eps
-            self._first = np.ones(n, dtype=bool)
-            self._naxis = np.asarray(naxis, dtype=np.int64)
-            self._nsign = np.asarray(nsign, dtype=np.float64)
-        else:
-            self._uid = np.concatenate([self._uid, uids])
-            self._bank = np.concatenate([self._bank, np.full(n, batch, dtype=np.int64)])
-            self._row = np.concatenate([self._row, rows])
-            self._step_no = np.concatenate([self._step_no, np.ones(n, dtype=np.int64)])
-            self._pos = np.concatenate([self._pos, pos])
-            self._eps = np.concatenate([self._eps, eps])
-            self._first = np.concatenate([self._first, np.ones(n, dtype=bool)])
-            self._naxis = np.concatenate([self._naxis, np.asarray(naxis, dtype=np.int64)])
-            self._nsign = np.concatenate([self._nsign, np.asarray(nsign, dtype=np.float64)])
+        if tm is not None:
+            t0 = tm.lap("sample", t0)
+        self._uid[sl] = uids
+        self._grow[sl] = np.arange(
+            start_g + off, start_g + off + k, dtype=np.int64
+        )
+        self._row[sl] = np.arange(off, off + k, dtype=np.int64)
+        self._step_no[sl] = 1
+        self._pos[sl] = pos
+        self._eps[sl] = eps
+        self._first[sl] = True
+        self._naxis[sl] = naxis
+        self._nsign[sl] = nsign
+        self._n = n + k
+        self._have_first = True
+        if tm is not None:
+            tm.lap("bookkeeping", t0)
 
     # ------------------------------------------------------------------
     # Retiring and compaction
     # ------------------------------------------------------------------
-    def _retire(
+    def _retire_compact(
         self,
-        mask: np.ndarray,
+        done: np.ndarray,
         dest: np.ndarray,
         steps: np.ndarray,
         truncated: bool,
+        extra: tuple = (),
     ) -> None:
-        """Bank the outcomes of the masked walks and release their streams."""
-        banks = self._bank[mask]
-        rows = self._row[mask]
-        for b in np.unique(banks):
-            sel = banks == b
-            bank = self._banks[int(b)]
-            bank.dest[rows[sel]] = dest[sel]
-            bank.steps[rows[sel]] = steps[sel]
-            count = int(sel.sum())
-            bank.remaining -= count
-            if truncated:
-                bank.truncated += count
+        """Bank the outcomes of the masked walks, release their streams,
+        and compact the arena by moving kept tail walks into the holes.
+
+        ``done`` is a boolean mask over the active prefix; ``dest``/``steps``
+        are the retired walks' outcomes in mask order.  ``extra`` arrays
+        (per-active-walk temporaries the caller keeps using) receive the
+        same compaction moves.
+        """
+        n = self._n
+        g = self._grow[:n][done]
+        idx = g - self._win_base_g
+        self._res_dest[idx] = dest
+        self._res_steps[idx] = steps
+        # Grouped per-batch remaining/truncated decrements: one bincount
+        # scatter-add instead of a per-unique-batch Python loop.
+        b = np.searchsorted(self._win_starts, g, side="right") - 1
+        counts = np.bincount(b, minlength=self._win_remaining.shape[0])
+        self._win_remaining -= counts
+        if truncated:
+            self._win_truncated += counts
         if self._can_release:
             # Each stream is released exactly once, when its walk retires
             # (matters for the MTWalkStreams per-walk state cache).
-            self.streams.release(self._uid[mask])
-
-    def _compact(self, keep: np.ndarray) -> None:
-        self._uid = self._uid[keep]
-        self._bank = self._bank[keep]
-        self._row = self._row[keep]
-        self._step_no = self._step_no[keep]
-        self._pos = self._pos[keep]
-        self._eps = self._eps[keep]
-        self._first = self._first[keep]
-        self._naxis = self._naxis[keep]
-        self._nsign = self._nsign[keep]
+            self.streams.release(self._uid[:n][done])
+        n_done = dest.shape[0]
+        n_new = n - n_done
+        movers = n_new + np.nonzero(~done[n_new:n])[0]
+        holes = np.nonzero(done[:n_new])[0]
+        if holes.shape[0]:
+            for arr in (
+                self._uid,
+                self._grow,
+                self._row,
+                self._step_no,
+                self._eps,
+                self._first,
+                self._naxis,
+                self._nsign,
+            ):
+                arr[holes] = arr[movers]
+            self._pos[holes] = self._pos[movers]
+            for arr in extra:
+                arr[holes] = arr[movers]
+        self._n = n_new
 
     def _store_omega(self, idx: np.ndarray, omega: np.ndarray) -> None:
-        banks = self._bank[idx]
-        rows = self._row[idx]
-        for b in np.unique(banks):
-            sel = banks == b
-            self._banks[int(b)].omega[rows[sel]] = omega[sel]
+        """Scatter first-hop weights into the result window by global row."""
+        self._res_omega[self._grow[idx] - self._win_base_g] = omega
 
     # ------------------------------------------------------------------
     # The vector step
@@ -282,85 +471,184 @@ class WalkPipeline:
         """Advance every active walk by one hop (identical math to the
         historical batch loop; walks at different depths mix freely because
         all per-walk operations are elementwise)."""
-        if self.active == 0:
+        if self._n == 0:
             return
         cfg = self.ctx.config
+        ws = self._ws
+        tm = self._timers
+        if tm is not None:
+            tm.steps += 1
+            t0 = perf_counter()
 
         # Safety net: treat over-cap survivors as absorbed by the enclosure.
-        over = self._step_no > cfg.max_steps
-        if np.any(over):
-            dest = np.full(int(over.sum()), self._enclosure_index, dtype=np.int64)
-            self._retire(over, dest, self._step_no[over], truncated=True)
-            self._compact(~over)
-            if self.active == 0:
-                return
-
-        pos = self._pos
-        dist_c, cond = self.ctx.index.query(pos)
-        dist_e = self.ctx.structure.enclosure_distance(pos)
-
-        absorb_wall = dist_e < self.ctx.absorb_tol
-        absorb_cond = (dist_c < self.ctx.absorb_tol) & (cond >= 0) & ~absorb_wall
-        done = absorb_wall | absorb_cond
-        if np.any(done & self._first):
-            raise ConvergenceError(
-                "walk absorbed before its first hop; the Gaussian surface "
-                "offset is smaller than the absorption tolerance"
+        n = self._n
+        over = np.greater(self._step_no[:n], cfg.max_steps, out=ws.b0[:n])
+        n_over = int(np.count_nonzero(over))
+        if n_over:
+            dest = np.full(n_over, self._enclosure_index, dtype=np.int64)
+            self._retire_compact(
+                over, dest, self._step_no[:n][over], truncated=True
             )
-        if np.any(done):
-            dest = np.where(absorb_wall[done], self._enclosure_index, cond[done])
-            self._retire(done, dest, self._step_no[done], truncated=False)
-            keep = ~done
-            self._compact(keep)
-            dist_c = dist_c[keep]
-            dist_e = dist_e[keep]
-            if self.active == 0:
+            n = self._n
+            if n == 0:
+                if tm is not None:
+                    tm.lap("bookkeeping", t0)
                 return
+        if tm is not None:
+            t0 = tm.lap("bookkeeping", t0)
 
-        u = self.streams.draws(self._uid, self._step_no, 3)
-        allow = np.minimum(np.minimum(dist_c, dist_e), self.ctx.h_cap)
-        pos = self._pos
-        first = self._first
+        pos = self._pos[:n]
+        dist_c, cond = self.ctx.index.query(pos)
+        # Enclosure distance inline (cached wall arrays, reusable buffers).
+        np.minimum(
+            (pos - self._enc_lo[None, :]).min(axis=1),
+            (self._enc_hi[None, :] - pos).min(axis=1),
+            out=ws.h[:n],
+        )
+        dist_e = ws.h[:n]
+        if tm is not None:
+            t0 = tm.lap("index", t0)
 
-        if self._stack.is_homogeneous:
-            on_iface = np.zeros(self.active, dtype=bool)
-            dist_i = np.full(self.active, np.inf)
+        tol = self.ctx.absorb_tol
+        absorb_wall = np.less(dist_e, tol, out=ws.b0[:n])
+        absorb_cond = np.less(dist_c, tol, out=ws.b1[:n])
+        absorb_cond &= np.greater_equal(cond, 0, out=ws.b2[:n])
+        absorb_cond &= np.logical_not(absorb_wall, out=ws.b3[:n])
+        done = np.logical_or(absorb_wall, absorb_cond, out=ws.b4[:n])
+        n_done = int(np.count_nonzero(done))
+        if n_done:
+            if self._have_first and bool(np.any(done & self._first[:n])):
+                raise ConvergenceError(
+                    "walk absorbed before its first hop; the Gaussian surface "
+                    "offset is smaller than the absorption tolerance"
+                )
+            dest = np.where(
+                absorb_wall[done], self._enclosure_index, cond[done]
+            )
+            # dist_e lives in ws.h, which later stages reuse — move it out.
+            dist_e = ws.h2[:n]
+            dist_e[:] = ws.h[:n]
+            self._retire_compact(
+                done,
+                dest,
+                self._step_no[:n][done],
+                truncated=False,
+                extra=(dist_c, dist_e),
+            )
+            n = self._n
+            if n == 0:
+                if tm is not None:
+                    tm.lap("bookkeeping", t0)
+                return
+            dist_c = dist_c[:n]
+            dist_e = dist_e[:n]
+            pos = self._pos[:n]
+        if tm is not None:
+            t0 = tm.lap("bookkeeping", t0)
+
+        if self._draws_out:
+            u = self.streams.draws(
+                self._uid[:n], self._step_no[:n], 3, out=ws.u4[:n]
+            )
+        else:
+            u = self.streams.draws(self._uid[:n], self._step_no[:n], 3)
+        if tm is not None:
+            t0 = tm.lap("rng", t0)
+
+        # allow = min(dist_c, dist_e, h_cap); dist_c is dead after this and
+        # is reused as the destination buffer.
+        allow = np.minimum(dist_c, dist_e, out=dist_c)
+        np.minimum(allow, self.ctx.h_cap, out=allow)
+        first = self._first[:n]
+
+        homogeneous = self._stack.is_homogeneous
+        if homogeneous:
+            n_iface = 0
+            dist_i = None
+            on_iface = None
         else:
             dist_i = self._stack.interface_distance(pos[:, 2])
             # First hops never snap: the hemisphere step has no unbiased
             # normal-gradient estimator across the interface, so the flux
             # weight must come from an interface-clamped cube (the context
             # guarantees launch points keep clearance from interfaces).
-            on_iface = (dist_i < cfg.interface_snap_fraction * allow) & ~first
+            on_iface = np.less(
+                dist_i, cfg.interface_snap_fraction * allow, out=ws.b0[:n]
+            )
+            on_iface &= np.logical_not(first, out=ws.b1[:n])
+            n_iface = int(np.count_nonzero(on_iface))
 
-        new_pos = np.empty_like(pos)
-
-        cube = ~on_iface
-        if np.any(cube):
-            h = np.minimum(allow[cube], dist_i[cube])
-            # First hops carry the 1/h flux weight: floor h near interfaces
-            # (the cube then crosses the interface slightly — a small,
-            # bounded bias instead of unbounded weight variance).
+        new_pos = self._pos_next
+        if n_iface == 0:
+            # Fast path: every walk takes a cube hop — full-vector kernels,
+            # no partition gathers.
+            if homogeneous:
+                h = allow
+            else:
+                h = np.minimum(allow, dist_i, out=ws.h2[:n])
             floor = cfg.first_hop_interface_floor
-            if floor > 0.0 and np.any(first[cube]):
-                fc_mask = first[cube]
-                h[fc_mask] = np.maximum(h[fc_mask], floor * allow[cube][fc_mask])
-            cells = self._table.sample_cells(u[cube, 0])
-            unit = self._table.unit_positions(cells, u[cube, 1], u[cube, 2])
-            new_pos[cube] = (pos[cube] - h[:, None]) + unit * (2.0 * h)[:, None]
-            fc = first[cube]
-            if np.any(fc):
-                cube_idx = np.nonzero(cube)[0][fc]
-                ratio = self._table.grad_ratio[self._naxis[cube_idx], cells[fc]]
-                omega = (
-                    -self._flux_scale
-                    * self._eps[cube_idx]
-                    * self._nsign[cube_idx]
-                    * ratio
-                    / (2.0 * h[fc])
-                )
-                self._store_omega(cube_idx, omega)
-        if np.any(on_iface):
+            if self._have_first and floor > 0.0:
+                fc_mask = first
+                if np.any(fc_mask):
+                    h[fc_mask] = np.maximum(
+                        h[fc_mask], floor * allow[fc_mask]
+                    )
+            cells = self._table.sample_cells(u[:, 0])
+            unit = self._table.unit_positions(cells, u[:, 1], u[:, 2])
+            npos = new_pos[:n]
+            np.subtract(pos, h[:, None], out=npos)
+            h2 = np.multiply(2.0, h, out=ws.h[:n])
+            np.multiply(unit, h2[:, None], out=unit)
+            np.add(npos, unit, out=npos)
+            if tm is not None:
+                t0 = tm.lap("sample", t0)
+            if self._have_first:
+                fc = np.nonzero(first)[0]
+                if fc.shape[0]:
+                    ratio = self._table.grad_ratio[self._naxis[fc], cells[fc]]
+                    omega = (
+                        -self._flux_scale
+                        * self._eps[fc]
+                        * self._nsign[fc]
+                        * ratio
+                        / (2.0 * h[fc])
+                    )
+                    self._store_omega(fc, omega)
+                if tm is not None:
+                    t0 = tm.lap("bookkeeping", t0)
+        else:
+            # Partitioned path: some walks snapped onto an interface.
+            cube = np.logical_not(on_iface, out=ws.b2[:n])
+            npos = new_pos[:n]
+            if np.any(cube):
+                h = np.minimum(allow[cube], dist_i[cube])
+                # First hops carry the 1/h flux weight: floor h near
+                # interfaces (the cube then crosses the interface slightly —
+                # a small, bounded bias instead of unbounded weight
+                # variance).
+                floor = cfg.first_hop_interface_floor
+                if floor > 0.0 and np.any(first[cube]):
+                    fc_mask = first[cube]
+                    h[fc_mask] = np.maximum(
+                        h[fc_mask], floor * allow[cube][fc_mask]
+                    )
+                cells = self._table.sample_cells(u[cube, 0])
+                unit = self._table.unit_positions(cells, u[cube, 1], u[cube, 2])
+                npos[cube] = (pos[cube] - h[:, None]) + unit * (2.0 * h)[:, None]
+                fc = first[cube]
+                if np.any(fc):
+                    cube_idx = np.nonzero(cube)[0][fc]
+                    ratio = self._table.grad_ratio[
+                        self._naxis[cube_idx], cells[fc]
+                    ]
+                    omega = (
+                        -self._flux_scale
+                        * self._eps[cube_idx]
+                        * self._nsign[cube_idx]
+                        * ratio
+                        / (2.0 * h[fc])
+                    )
+                    self._store_omega(cube_idx, omega)
             z = pos[on_iface, 2]
             k = self._stack.nearest_interface(z)
             z_k = self._stack.interface_z(k)
@@ -373,21 +661,54 @@ class WalkPipeline:
             )
             r = np.maximum(r, 0.5 * self.ctx.absorb_tol)
             direction = interface_hemisphere_direction(
-                u[on_iface, 0], u[on_iface, 1], u[on_iface, 2], eps_below, eps_above
+                u[on_iface, 0],
+                u[on_iface, 1],
+                u[on_iface, 2],
+                eps_below,
+                eps_above,
             )
             center = pos[on_iface].copy()
             center[:, 2] = z_k
-            new_pos[on_iface] = center + r[:, None] * direction
+            npos[on_iface] = center + r[:, None] * direction
+            if tm is not None:
+                t0 = tm.lap("sample", t0)
 
-        self._pos = new_pos
-        self._first = np.zeros(self.active, dtype=bool)
-        self._step_no = self._step_no + 1
+        # Commit: double-buffer swap, no copy.
+        self._pos, self._pos_next = self._pos_next, self._pos
+        if self._have_first:
+            self._first[:n] = False
+            self._have_first = False
+        self._step_no[:n] += 1
         if self.trace is not None:
-            self.trace.append((self._row.copy(), self._pos.copy()))
+            self.trace.append((self._row[:n].copy(), self._pos[:n].copy()))
+        if tm is not None:
+            tm.lap("bookkeeping", t0)
 
     # ------------------------------------------------------------------
     # Batch emission
     # ------------------------------------------------------------------
+    def _emit_front(self) -> WalkResults:
+        """Slice the completed oldest batch out of the result window."""
+        n0 = self._win_sizes.pop(0)
+        uids = self._win_uids.pop(0)
+        truncated = int(self._win_truncated[0])
+        self._win_starts = self._win_starts[1:]
+        self._win_remaining = self._win_remaining[1:]
+        self._win_truncated = self._win_truncated[1:]
+        res = WalkResults(
+            uids=uids,
+            omega=self._res_omega[:n0].copy(),
+            dest=self._res_dest[:n0].copy(),
+            steps=self._res_steps[:n0].copy(),
+            truncated=truncated,
+        )
+        self._res_omega = self._res_omega[n0:]
+        self._res_dest = self._res_dest[n0:]
+        self._res_steps = self._res_steps[n0:]
+        self._win_base_g += n0
+        self._next_emit += 1
+        return res
+
     def next_batch(self) -> WalkResults | None:
         """Run until the oldest outstanding batch completes and return it.
 
@@ -396,18 +717,14 @@ class WalkPipeline:
         in flight (or finished and banked) when their turn comes.  Returns
         ``None`` when the feed is exhausted and no batch is outstanding.
         """
-        target = self._next_emit
         while True:
             self._refill()
-            bank = self._banks.get(target)
-            if bank is not None and bank.remaining == 0:
-                break
-            if bank is None and self._feed_done:
+            if self._win_remaining.shape[0]:
+                if self._win_remaining[0] == 0:
+                    return self._emit_front()
+            elif self._feed_done:
                 return None
             self._step()
-        self._next_emit += 1
-        del self._banks[target]
-        return bank.results()
 
 
 def run_walks(
@@ -415,6 +732,7 @@ def run_walks(
     streams,
     uids: np.ndarray,
     trace: list | None = None,
+    timers: StageTimers | None = None,
 ) -> WalkResults:
     """Run a batch of walks to absorption.
 
@@ -429,6 +747,12 @@ def run_walks(
     trace:
         When given, per-step positions of all walks are appended (small
         batches only; used by the scalar reference and Fig. 2).
+    timers:
+        Optional :class:`StageTimers` accumulating per-stage wall time.
+
+    The slot arena is drawn from a thread-local workspace, so consecutive
+    calls on one thread (executor chunk tasks, per-batch loops) reuse the
+    same preallocated buffers.
     """
     uids = np.asarray(uids, dtype=np.uint64)
 
@@ -436,7 +760,14 @@ def run_walks(
         return uids if batch_index == 0 else None
 
     pipe = WalkPipeline(
-        ctx, streams, feed, width=max(1, uids.shape[0]), lookahead=0, trace=trace
+        ctx,
+        streams,
+        feed,
+        width=max(1, uids.shape[0]),
+        lookahead=0,
+        trace=trace,
+        workspace=_thread_workspace(max(1, uids.shape[0])),
+        timers=timers,
     )
     return pipe.next_batch()
 
@@ -447,6 +778,7 @@ def run_walks_pipelined(
     uids: np.ndarray,
     width: int,
     lookahead: int = 1,
+    timers: StageTimers | None = None,
 ) -> WalkResults:
     """Run a fixed UID set through the refill pipeline in ``width``-sized
     batches, reassembling per-batch results in UID order.
@@ -464,7 +796,9 @@ def run_walks_pipelined(
             return None
         return uids[batch_index * width : (batch_index + 1) * width]
 
-    pipe = WalkPipeline(ctx, streams, feed, width=width, lookahead=lookahead)
+    pipe = WalkPipeline(
+        ctx, streams, feed, width=width, lookahead=lookahead, timers=timers
+    )
     parts = []
     for _ in range(n_batches):
         parts.append(pipe.next_batch())

@@ -25,6 +25,13 @@ differs only in how the walks are scheduled:
 * :class:`ProcessBatchRunner` — chunks dispatched to the persistent fork
   pool (workers are stateless between batches, so no cross-batch
   pipelining; contexts are shipped once, at fork).
+
+Every path reuses the engine's slot arena across batches: the pipelined
+runners own persistent :class:`~repro.frw.engine.WalkPipeline` instances
+(one arena each, alive for the whole run), and chunk tasks that go through
+:func:`~repro.frw.engine.run_walks` — thread-pool futures and forked
+workers alike — hit its per-thread workspace cache, so steady-state batch
+execution allocates no walk-state arrays anywhere.
 """
 
 from __future__ import annotations
@@ -248,26 +255,6 @@ class PersistentExecutor:
 # ----------------------------------------------------------------------
 # Batch runners: uniform per-batch API over the scheduling strategies.
 # ----------------------------------------------------------------------
-class SerialBatchRunner:
-    """One batch at a time through the plain engine (the historical path)."""
-
-    def __init__(self, ctx: ExtractionContext, streams, batch_size: int):
-        self.ctx = ctx
-        self.streams = streams
-        self.batch_size = int(batch_size)
-
-    def run_batch(self, batch_index: int) -> WalkResults:
-        uids = np.arange(
-            batch_index * self.batch_size,
-            (batch_index + 1) * self.batch_size,
-            dtype=np.uint64,
-        )
-        return run_walks(self.ctx, self.streams, uids)
-
-    def close(self) -> None:
-        pass
-
-
 def _batch_feed(batch_size: int, lo: int = 0, hi: int | None = None):
     """UID feed for ``WalkPipeline``: slice ``[lo, hi)`` of every batch."""
     hi = batch_size if hi is None else hi
@@ -277,6 +264,35 @@ def _batch_feed(batch_size: int, lo: int = 0, hi: int | None = None):
         return np.arange(base + lo, base + hi, dtype=np.uint64)
 
     return feed
+
+
+class SerialBatchRunner:
+    """One batch at a time through the plain engine (the historical path).
+
+    Implemented as a *persistent* lookahead-0 :class:`WalkPipeline`: with
+    no lookahead, each batch drains completely before the next one feeds,
+    so the schedule — and therefore every result bit — is identical to
+    calling :func:`run_walks` per batch, but the slot arena and step
+    scratch are allocated once and reused for the whole run.
+    """
+
+    def __init__(self, ctx: ExtractionContext, streams, batch_size: int):
+        self.ctx = ctx
+        self.streams = streams
+        self.batch_size = int(batch_size)
+        self._pipe = WalkPipeline(
+            ctx,
+            streams,
+            _batch_feed(self.batch_size),
+            width=self.batch_size,
+            lookahead=0,
+        )
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        return self._pipe.next_batch()
+
+    def close(self) -> None:
+        pass
 
 
 class PipelinedBatchRunner:

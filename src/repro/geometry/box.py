@@ -201,6 +201,13 @@ def nearest_box(
         return best, best_idx
     dist_fn = distance_linf_many if metric == "linf" else distance_l2_many
     step = max(1, chunk // max(n, 1))
+    if step >= m:
+        # Single chunk: plain argmin, no running-best merge.
+        d = dist_fn(points, lo, hi)
+        best_idx = d.argmin(axis=1).astype(np.int64, copy=False)
+        best = d[np.arange(n), best_idx]
+        best_idx[np.isinf(best)] = -1
+        return best, best_idx
     for start in range(0, m, step):
         stop = min(m, start + step)
         d = dist_fn(points, lo[start:stop], hi[start:stop])

@@ -28,22 +28,66 @@ from .structure import Structure
 
 
 class BruteForceIndex:
-    """Exact nearest-conductor queries via chunked all-pairs distances."""
+    """Exact nearest-conductor queries via chunked all-pairs distances.
 
-    def __init__(self, structure: Structure):
+    The all-pairs distance table is evaluated in blocks so that no more
+    than ``chunk_budget`` (point, box) pairs — i.e. ``3 * chunk_budget``
+    float64 temporaries — are materialised at once: :func:`nearest_box`
+    already chunks over *boxes* when there are many, and the index
+    additionally chunks over *points*, so neither a huge structure nor a
+    huge query batch can blow memory.
+
+    Parameters
+    ----------
+    structure:
+        The geometry to index.
+    chunk_budget:
+        Maximum (point, box) pairs evaluated per block.
+    """
+
+    def __init__(self, structure: Structure, chunk_budget: int = 4_000_000):
+        if chunk_budget < 1:
+            raise GeometryError(
+                f"chunk_budget must be positive, got {chunk_budget}"
+            )
         self._lo, self._hi, self._owner = structure.box_arrays
+        self.chunk_budget = int(chunk_budget)
+
+    def _query(
+        self, points: np.ndarray, metric: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        points = np.asarray(points, dtype=np.float64)
+        n = points.shape[0]
+        m = self._lo.shape[0]
+        block = max(1, self.chunk_budget // max(m, 1))
+        if n <= block:
+            dist, box_idx = nearest_box(
+                points, self._lo, self._hi, metric=metric, chunk=self.chunk_budget
+            )
+            cond = np.where(box_idx >= 0, self._owner[box_idx], -1)
+            return dist, cond
+        dist = np.empty(n, dtype=np.float64)
+        cond = np.empty(n, dtype=np.int64)
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            d, box_idx = nearest_box(
+                points[start:stop],
+                self._lo,
+                self._hi,
+                metric=metric,
+                chunk=self.chunk_budget,
+            )
+            dist[start:stop] = d
+            cond[start:stop] = np.where(box_idx >= 0, self._owner[box_idx], -1)
+        return dist, cond
 
     def query(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Nearest Chebyshev distance and conductor index per point."""
-        dist, box_idx = nearest_box(points, self._lo, self._hi, metric="linf")
-        cond = np.where(box_idx >= 0, self._owner[box_idx], -1)
-        return dist, cond
+        return self._query(points, "linf")
 
     def query_l2(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Euclidean variant (used by the walk-on-spheres engine)."""
-        dist, box_idx = nearest_box(points, self._lo, self._hi, metric="l2")
-        cond = np.where(box_idx >= 0, self._owner[box_idx], -1)
-        return dist, cond
+        return self._query(points, "l2")
 
 
 class GridIndex:
@@ -96,30 +140,42 @@ class GridIndex:
         — a candidate farther than ``h_cap`` can never win a capped query.
         Within each cell, candidates are stored in ascending box order so
         ties resolve exactly as the brute-force argmin does.
+
+        The (box, cell) incidence table is built by a batched cell-range
+        expansion — per-box extents are decomposed into flat lattice offsets
+        with vectorised div/mod arithmetic — so build time is O(total
+        incidences) with no per-box Python loop.
         """
         nx, ny, nz = (int(v) for v in self._n_cells)
         n_cells = nx * ny * nz
         m = self._lo.shape[0]
-        cell_chunks: list[np.ndarray] = []
-        box_chunks: list[np.ndarray] = []
-        limits = np.array([nx, ny, nz], dtype=np.int64)
-        for b in range(m):
-            lo = (self._lo[b] - self.h_cap - self._origin) / self._cell
-            hi = (self._hi[b] + self.h_cap - self._origin) / self._cell
-            i0 = np.clip(np.floor(lo).astype(np.int64) - 1, 0, limits - 1)
-            i1 = np.clip(np.floor(hi).astype(np.int64) + 1, 0, limits - 1)
-            ii = np.arange(i0[0], i1[0] + 1, dtype=np.int64)
-            jj = np.arange(i0[1], i1[1] + 1, dtype=np.int64)
-            kk = np.arange(i0[2], i1[2] + 1, dtype=np.int64)
-            cells = (
-                (kk[:, None, None] * ny + jj[None, :, None]) * nx
-                + ii[None, None, :]
-            ).ravel()
-            cell_chunks.append(cells)
-            box_chunks.append(np.full(cells.shape[0], b, dtype=np.int64))
-        if cell_chunks:
-            all_cells = np.concatenate(cell_chunks)
-            all_boxes = np.concatenate(box_chunks)
+        if m:
+            limits = np.array([nx, ny, nz], dtype=np.int64)
+            lo = (self._lo - self.h_cap - self._origin[None, :]) / self._cell[None, :]
+            hi = (self._hi + self.h_cap - self._origin[None, :]) / self._cell[None, :]
+            i0 = np.clip(
+                np.floor(lo).astype(np.int64) - 1, 0, limits[None, :] - 1
+            )
+            i1 = np.clip(
+                np.floor(hi).astype(np.int64) + 1, 0, limits[None, :] - 1
+            )
+            ext = i1 - i0 + 1  # (m, 3) per-axis cell counts, all >= 1
+            per_box = ext[:, 0] * ext[:, 1] * ext[:, 2]
+            total = int(per_box.sum())
+            all_boxes = np.repeat(np.arange(m, dtype=np.int64), per_box)
+            # Offset within each box's lattice, x fastest (matching the
+            # historical (kk, jj, ii) ravel order), decomposed by div/mod.
+            starts = np.cumsum(per_box) - per_box
+            t = np.arange(total, dtype=np.int64) - np.repeat(starts, per_box)
+            ex = ext[all_boxes, 0]
+            ti = t % ex
+            r = t // ex
+            ey = ext[all_boxes, 1]
+            tj = r % ey
+            tk = r // ey
+            all_cells = (
+                (i0[all_boxes, 2] + tk) * ny + (i0[all_boxes, 1] + tj)
+            ) * nx + (i0[all_boxes, 0] + ti)
             order = np.argsort(all_cells, kind="stable")
             self._indices = all_boxes[order]
             counts = np.bincount(all_cells, minlength=n_cells)
@@ -153,7 +209,14 @@ class GridIndex:
         d = np.maximum(
             np.maximum(self._lo[cand] - p, p - self._hi[cand]), 0.0
         ).max(axis=1)
-        np.minimum.at(dist, pt, d)
+        # Per-point segment minimum over the flat candidate table.  The
+        # segments tile ``d`` contiguously in point order, so a single
+        # ``fmin.reduceat`` at the non-empty segment starts replaces the
+        # unbuffered ``np.minimum.at`` scatter loop (``d`` is NaN-free, so
+        # fmin == minimum).
+        nz = cnt > 0
+        seg_min = np.fmin.reduceat(d, (np.cumsum(cnt) - cnt)[nz])
+        dist[nz] = np.minimum(seg_min, self.h_cap)
         # Winner per point: the first candidate (lowest box index) achieving
         # the segment minimum, matching the brute-force argmin tie-break.
         hit = (d == dist[pt]) & (d < self.h_cap)

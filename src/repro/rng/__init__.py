@@ -20,8 +20,10 @@ from .philox import (
     PHILOX_ROUNDS,
     derive_key,
     philox4x32,
+    philox4x32_inplace,
     philox4x32_scalar,
     splitmix64,
+    unit_double_into,
     unit_double_scalar,
     words_to_unit_double,
 )
@@ -37,8 +39,10 @@ __all__ = [
     "derive_key",
     "encode_walk_uid",
     "philox4x32",
+    "philox4x32_inplace",
     "philox4x32_scalar",
     "splitmix64",
+    "unit_double_into",
     "unit_double_scalar",
     "words_to_unit_double",
 ]

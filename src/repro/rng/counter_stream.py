@@ -27,7 +27,9 @@ from ..errors import RNGError
 from .philox import (
     derive_key,
     philox4x32,
+    philox4x32_inplace,
     philox4x32_scalar,
+    unit_double_into,
     unit_double_scalar,
     words_to_unit_double,
 )
@@ -60,6 +62,32 @@ def encode_walk_uid(batch_index: int, walk_in_batch: int, batch_size: int) -> in
     return batch_index * batch_size + walk_in_batch
 
 
+class _DrawScratch:
+    """Reusable buffers for the fused :meth:`WalkStreams.draws` kernel.
+
+    Sized for up to ``BLOCKS_PER_STEP`` Philox blocks over a walk-count
+    capacity; grown geometrically on demand.  Owned by one ``WalkStreams``
+    instance, which is therefore not safe for concurrent ``draws`` calls
+    from multiple threads (every parallel code path builds one provider per
+    worker).
+    """
+
+    __slots__ = ("capacity", "lattice", "t0", "t1", "f0", "f1")
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        # Eight (BLOCKS_PER_STEP, capacity) u64 planes: four counter words
+        # plus four scratch planes for the in-place Philox rounds.
+        self.lattice = [
+            np.empty((BLOCKS_PER_STEP, self.capacity), dtype=np.uint64)
+            for _ in range(8)
+        ]
+        self.t0 = np.empty(self.capacity, dtype=np.uint64)
+        self.t1 = np.empty(self.capacity, dtype=np.uint64)
+        self.f0 = np.empty(self.capacity, dtype=np.float64)
+        self.f1 = np.empty(self.capacity, dtype=np.float64)
+
+
 class WalkStreams:
     """Stateless per-walk random streams keyed by a global seed.
 
@@ -71,18 +99,37 @@ class WalkStreams:
         Domain-separation stream tag; distinct tags (e.g. one per master
         conductor in multi-level parallelism) give independent stream
         families under the same seed.
+
+    The draw *values* are a pure function of ``(seed, stream, uid, step,
+    slot)``; the instance only carries reusable scratch buffers, so any
+    number of instances agree bit-for-bit.  One instance must not service
+    concurrent ``draws`` calls from different threads (the scratch is
+    shared); all parallel code paths construct one provider per worker.
     """
 
     def __init__(self, seed: int, stream: int = 0):
         self.seed = int(seed)
         self.stream = int(stream)
         self._k0, self._k1 = derive_key(self.seed, self.stream)
+        self._scratch: _DrawScratch | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WalkStreams(seed={self.seed}, stream={self.stream})"
 
+    def _ensure_scratch(self, n: int) -> _DrawScratch:
+        scratch = self._scratch
+        if scratch is None or scratch.capacity < n:
+            cap = max(n, 2 * scratch.capacity if scratch is not None else n)
+            scratch = _DrawScratch(cap)
+            self._scratch = scratch
+        return scratch
+
     def draws(
-        self, uids: np.ndarray, step: int | np.ndarray, count: int
+        self,
+        uids: np.ndarray,
+        step: int | np.ndarray,
+        count: int,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Return ``(len(uids), count)`` uniforms in [0, 1).
 
@@ -92,6 +139,12 @@ class WalkStreams:
         per-walk array (the pipelined engine mixes walks at different
         depths in one vector); each walk's draws depend only on its own
         ``(uid, step)``.
+
+        All blocks of the step are generated by a single fused Philox pass
+        over an ``(n_blocks, n)`` counter lattice (rather than one
+        vectorised call per block), writing through reusable scratch;
+        ``out`` — shape ``(n, >= count)``, float64 — lets the caller supply
+        the destination so steady-state callers allocate nothing.
         """
         if count < 1 or count > MAX_DRAWS_PER_STEP:
             raise RNGError(
@@ -100,22 +153,43 @@ class WalkStreams:
         uids = np.asarray(uids, dtype=np.uint64)
         n = uids.shape[0]
         n_blocks = (count + 1) // 2
-        out = np.empty((n, 2 * n_blocks), dtype=np.float64)
-        c1 = (uids & np.uint64(_MASK32)).astype(np.uint32)
-        c2 = (uids >> np.uint64(32)).astype(np.uint32)
-        base_block = np.asarray(step, dtype=np.uint64) * np.uint64(BLOCKS_PER_STEP)
+        if out is None:
+            out = np.empty((n, count), dtype=np.float64)
+        scratch = self._ensure_scratch(n)
+        lat = scratch.lattice
+        x0 = lat[0][:n_blocks, :n]
+        x1 = lat[1][:n_blocks, :n]
+        x2 = lat[2][:n_blocks, :n]
+        x3 = lat[3][:n_blocks, :n]
+        s0 = lat[4][:n_blocks, :n]
+        s1 = lat[5][:n_blocks, :n]
+        s2 = lat[6][:n_blocks, :n]
+        s3 = lat[7][:n_blocks, :n]
+        mask = np.uint64(_MASK32)
+        t0 = scratch.t0[:n]
+        # c0 = step * BLOCKS_PER_STEP + block, truncated to 32 bits exactly
+        # as the historical per-block path did.
+        np.multiply(
+            np.asarray(step, dtype=np.uint64), np.uint64(BLOCKS_PER_STEP), out=t0
+        )
         for j in range(n_blocks):
-            w0, w1, w2, w3 = philox4x32(
-                (base_block + np.uint64(j)).astype(np.uint32),
-                c1,
-                c2,
-                np.uint32(DOMAIN_TAG),
-                np.uint32(self._k0),
-                np.uint32(self._k1),
-            )
-            out[:, 2 * j] = words_to_unit_double(w0, w1)
-            out[:, 2 * j + 1] = words_to_unit_double(w2, w3)
-        return out[:, :count]
+            np.add(t0, np.uint64(j), out=x0[j])
+        np.bitwise_and(x0, mask, out=x0)
+        np.bitwise_and(uids, mask, out=t0)
+        x1[...] = t0
+        np.right_shift(uids, np.uint64(32), out=t0)
+        x2[...] = t0
+        x3.fill(DOMAIN_TAG)
+        w0, w1, w2, w3 = philox4x32_inplace(
+            x0, x1, x2, x3, s0, s1, s2, s3, self._k0, self._k1
+        )
+        t0, t1 = scratch.t0[:n], scratch.t1[:n]
+        f0, f1 = scratch.f0[:n], scratch.f1[:n]
+        for d in range(count):
+            j = d // 2
+            hi, lo = (w0[j], w1[j]) if d % 2 == 0 else (w2[j], w3[j])
+            unit_double_into(hi, lo, t0, t1, f0, f1, out[:n, d])
+        return out[:n, :count]
 
     def draws_scalar(self, uid: int, step: int, count: int) -> list[float]:
         """Scalar reference path; bit-identical to :meth:`draws`."""

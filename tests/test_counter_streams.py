@@ -111,3 +111,36 @@ def test_sequential_stream_different_chunking_same_prefix():
 def test_sequential_stream_rejects_negative():
     with pytest.raises(RNGError):
         SequentialStream(1).next_doubles(-1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=1, max_value=MAX_DRAWS_PER_STEP),
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**64 - 1),  # uid
+            st.integers(min_value=0, max_value=2**20),  # step
+        ),
+        min_size=1,
+        max_size=16,
+    ),
+    use_out=st.booleans(),
+)
+def test_fused_draws_matches_scalar_property(seed, count, pairs, use_out):
+    """The fused single-pass Philox kernel is bit-identical to the scalar
+    reference for arbitrary (uid, step) mixes — including per-walk step
+    vectors (the pipelined engine's calling convention), every count up to
+    MAX_DRAWS_PER_STEP, and the caller-supplied ``out=`` buffer path."""
+    ws = WalkStreams(seed)
+    uids = np.array([u for u, _ in pairs], dtype=np.uint64)
+    steps = np.array([s for _, s in pairs], dtype=np.uint64)
+    if use_out:
+        out = np.empty((len(pairs), MAX_DRAWS_PER_STEP), dtype=np.float64)
+        vec = ws.draws(uids, steps, count, out=out)
+        assert vec.base is out
+    else:
+        vec = ws.draws(uids, steps, count)
+    assert vec.shape == (len(pairs), count)
+    for i, (uid, step) in enumerate(pairs):
+        assert vec[i].tolist() == ws.draws_scalar(uid, step, count)
