@@ -1,0 +1,206 @@
+"""Multi-master extraction benchmark — emits BENCH_extract.json.
+
+Measures the end-to-end wall time of a full multi-master ``extract()`` on
+a multi-conductor bus case in three schedules at the *same* worker count:
+
+* ``serial_masters``       — the historical master-after-master loop
+  (``interleave_masters=False``): one master's convergence tail idles the
+  pool while the next master waits.
+* ``interleaved_even``     — the cross-master scheduler with an even
+  in-flight quota per unconverged master.
+* ``interleaved_variance`` — the cross-master scheduler with
+  variance-guided allocation (quota reweighted toward the
+  least-converged masters each checkpoint round).
+
+All three produce bit-identical capacitance rows (asserted here on every
+run); the schedules trade wall time and speculative overshoot only.  The
+entry also records the per-master schedule telemetry (dispatched /
+discarded batches) and the shared-asset cache counters — the structure's
+spatial index must be built exactly once per extraction.
+
+The output file is a *trajectory*: every invocation appends a timestamped
+entry (git revision, host info) to the ``runs`` list, so the perf history
+is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_extract.py [-o BENCH_extract.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro import Box, Conductor, FRWConfig, FRWSolver, Structure
+
+SEED = 9
+BATCH = 1024
+N_WIRES = 5
+N_WORKERS = 4
+
+
+def build_bus(n_wires: int = N_WIRES) -> Structure:
+    """A parallel-wire bus: ``n_wires`` masters over a common enclosure."""
+    wires = [
+        Conductor.single(
+            f"w{i}", Box.from_bounds(2.0 * i, 2.0 * i + 1.0, 0, 8, 0, 1)
+        )
+        for i in range(n_wires)
+    ]
+    hi = 2.0 * n_wires + 3.0
+    return Structure(
+        wires, enclosure=Box.from_bounds(-4, hi, -4, 12, -4, 5)
+    )
+
+
+def _config(**overrides) -> FRWConfig:
+    return FRWConfig.frw_r(
+        seed=SEED,
+        n_threads=4,
+        batch_size=BATCH,
+        min_walks=2 * BATCH,
+        max_walks=8 * BATCH,
+        tolerance=1.5e-2,
+        executor="thread",
+        n_workers=N_WORKERS,
+        **overrides,
+    )
+
+
+def run_schedule(structure: Structure, name: str, cfg: FRWConfig, repeats: int = 3):
+    """Best-of-N wall time for one schedule; returns (entry, result)."""
+    best = float("inf")
+    result = None
+    solver_stats = None
+    for _ in range(repeats):
+        with FRWSolver(structure, cfg) as solver:
+            t0 = time.perf_counter()
+            res = solver.extract()
+            secs = time.perf_counter() - t0
+            if secs < best:
+                best, result = secs, res
+                solver_stats = solver.assets.stats()
+    sched = result.matrix.meta["schedule"]
+    entry = {
+        "seconds": round(best, 6),
+        "walks": result.total_walks,
+        "steps": result.total_steps,
+        "walks_per_sec": round(result.total_walks / best, 1),
+        "dispatched_batches": sched["dispatched_batches"],
+        "discarded_batches": sched["discarded_batches"],
+        "asset_cache": solver_stats,
+    }
+    print(
+        f"{name:22s} {best * 1e3:9.1f} ms   "
+        f"{entry['walks_per_sec']:>10.0f} walks/s   "
+        f"dispatched {entry['dispatched_batches']:>3d}   "
+        f"discarded {entry['discarded_batches']:>3d}"
+    )
+    return entry, result
+
+
+def _git_rev() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except OSError:  # pragma: no cover - no git on host
+        return "unknown"
+
+
+def _load_trajectory(path: str) -> dict:
+    header = {
+        "benchmark": "extract_cross_master",
+        "n_wires": N_WIRES,
+        "batch_size": BATCH,
+        "n_workers": N_WORKERS,
+        "runs": [],
+    }
+    if not os.path.exists(path):
+        return header
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return header
+    if "runs" in payload:
+        payload.setdefault("benchmark", "extract_cross_master")
+        return payload
+    return header
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_extract.json")
+    parser.add_argument("--wires", type=int, default=N_WIRES)
+    args = parser.parse_args()
+
+    structure = build_bus(args.wires)
+    results = {}
+    matrices = {}
+    for name, cfg in [
+        ("serial_masters", _config(interleave_masters=False)),
+        ("interleaved_even", _config(allocation="even")),
+        ("interleaved_variance", _config(allocation="variance")),
+    ]:
+        entry, res = run_schedule(structure, name, cfg)
+        results[name] = entry
+        matrices[name] = res.raw_matrix.values
+        # The structure index must be built exactly once per extraction.
+        assert entry["asset_cache"]["index_builds"] == 1, entry["asset_cache"]
+
+    base = matrices["serial_masters"]
+    for name, values in matrices.items():
+        assert np.array_equal(values, base), f"{name} rows differ from serial"
+    print("all schedules bit-identical to serial-masters rows")
+
+    speedups = {
+        "interleaved_vs_serial_masters": round(
+            results["serial_masters"]["seconds"]
+            / results["interleaved_variance"]["seconds"],
+            3,
+        ),
+        "variance_vs_even_allocation": round(
+            results["interleaved_even"]["seconds"]
+            / results["interleaved_variance"]["seconds"],
+            3,
+        ),
+    }
+    print("speedups:", speedups)
+
+    trajectory = _load_trajectory(args.output)
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": _git_rev(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "speedups": speedups,
+        "bit_identical": True,
+    }
+    trajectory["runs"].append(entry)
+    with open(args.output, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"appended run {len(trajectory['runs'])} to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

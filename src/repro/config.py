@@ -23,6 +23,7 @@ VARIANTS = ("alg1", "frw-nk", "frw-nc", "frw-r", "frw-rr")
 RNG_KINDS = ("philox", "mt")
 SUMMATION_KINDS = ("kahan", "naive")
 EXECUTOR_KINDS = ("serial", "thread", "process")
+ALLOCATION_KINDS = ("even", "variance")
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,30 @@ class FRWConfig:
     pipeline_lookahead:
         How many batches ahead the pipeline may refill from (bounds the
         work discarded when the stopping rule fires mid-pipeline).
+    interleave_masters:
+        Multi-master extraction submits batches from *all* masters into
+        the one executor as a single interleaved stream (the cross-master
+        scheduler), so one master's convergence never idles workers while
+        another still needs walks.  Each master keeps its own UID stream,
+        batch order, and checkpoints, so every row is bit-identical to the
+        serial per-master extraction — interleaving trades wall time only.
+        Ignored for single-master calls and the ``alg1`` variant.
+    allocation:
+        Cross-master in-flight quota policy: ``"even"`` gives every
+        unconverged master the same speculative batch depth; ``"variance"``
+        reweights the quota toward the least-converged masters (relative
+        half-width vs. tolerance).  Allocation decides only *which*
+        batches are in flight, never their contents, so rows are
+        bit-identical under either policy.
+    max_inflight_batches:
+        Total cross-master in-flight batch cap (0 = auto: enough to cover
+        the executor width with a margin).  Bounds the walk work thrown
+        away when stopping rules fire while speculative batches run.
+    register_wave:
+        Masters activated (and, on the process backend, contexts
+        registered/shipped) per scheduler wave; 0 = auto.  Large master
+        sets are admitted in waves so context registration is lazy but
+        batched — one pool restart per wave instead of per master.
     """
 
     seed: int = 0
@@ -135,6 +160,10 @@ class FRWConfig:
     chunk_size: int = 0
     pipeline: bool = True
     pipeline_lookahead: int = 1
+    interleave_masters: bool = True
+    allocation: str = "variance"
+    max_inflight_batches: int = 0
+    register_wave: int = 0
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -184,6 +213,20 @@ class FRWConfig:
         if self.pipeline_lookahead < 0:
             raise ConfigError(
                 f"pipeline_lookahead must be >= 0, got {self.pipeline_lookahead}"
+            )
+        if self.allocation not in ALLOCATION_KINDS:
+            raise ConfigError(
+                f"allocation must be one of {ALLOCATION_KINDS}, got "
+                f"{self.allocation!r}"
+            )
+        if self.max_inflight_batches < 0:
+            raise ConfigError(
+                f"max_inflight_batches must be >= 0, got "
+                f"{self.max_inflight_batches}"
+            )
+        if self.register_wave < 0:
+            raise ConfigError(
+                f"register_wave must be >= 0, got {self.register_wave}"
             )
 
     # ------------------------------------------------------------------

@@ -4,13 +4,15 @@ facade."""
 
 from .alg1_baseline import extract_row_alg1
 from .alg2_reproducible import (
+    RowProgress,
     RunStats,
     extract_row_alg2,
     extract_row_alg2_from_structure,
     machine_rng,
     make_streams,
 )
-from .context import ExtractionContext, build_context
+from .context import ExtractionContext, SharedAssets, build_context
+from .cross_master import extract_rows_interleaved, resolve_wave
 from .engine import (
     ArenaWorkspace,
     StageTimers,
@@ -22,6 +24,7 @@ from .engine import (
 from .estimator import CapacitanceRow, RowAccumulator
 from .multilevel import GroupPlan, multilevel_extract, plan_groups
 from .parallel import (
+    PendingBatch,
     PersistentExecutor,
     make_batch_runner,
     run_walks_parallel,
@@ -31,11 +34,13 @@ from .parallel import (
 )
 from .scheduler import (
     ScheduleResult,
+    allocate_quota,
     jittered_durations,
     simulate_dynamic_queue,
     simulate_static_blocks,
+    variance_weights,
 )
-from .solver import ExtractionResult, FRWSolver, extract
+from .solver import ExtractionResult, FRWSolver, assemble_result, extract
 from .walk import WalkTrace, run_single_walk, trace_walks
 
 __all__ = [
@@ -44,18 +49,24 @@ __all__ = [
     "ExtractionResult",
     "FRWSolver",
     "GroupPlan",
+    "PendingBatch",
     "PersistentExecutor",
     "RowAccumulator",
+    "RowProgress",
     "RunStats",
     "ScheduleResult",
+    "SharedAssets",
     "WalkPipeline",
     "WalkResults",
     "WalkTrace",
+    "allocate_quota",
+    "assemble_result",
     "build_context",
     "extract",
     "extract_row_alg1",
     "extract_row_alg2",
     "extract_row_alg2_from_structure",
+    "extract_rows_interleaved",
     "jittered_durations",
     "machine_rng",
     "make_batch_runner",
@@ -69,9 +80,11 @@ __all__ = [
     "run_walks_parallel",
     "run_walks_pipelined",
     "run_walks_processes",
+    "resolve_wave",
     "simulate_dynamic_queue",
     "simulate_static_blocks",
     "stream_spec",
     "streams_from_spec",
     "trace_walks",
+    "variance_weights",
 ]

@@ -45,6 +45,14 @@ class RunStats:
     thread_work: np.ndarray = field(default_factory=lambda: np.zeros(1))
     #: Accumulated batch makespans (modeled parallel time units).
     makespan: float = 0.0
+    #: Cross-master schedule telemetry: batches submitted to the executor
+    #: for this master (``>= batches`` when speculation ran ahead).
+    dispatched_batches: int = 0
+    #: Speculative batches dispatched but never accumulated (discarded when
+    #: the stopping rule fired; their walk samples are simply unused).
+    discarded_batches: int = 0
+    #: Allocation rounds this master participated in (interleaved mode).
+    allocation_rounds: int = 0
 
     @property
     def parallel_efficiency(self) -> float:
@@ -54,6 +62,13 @@ class RunStats:
         return float(self.thread_work.sum()) / (
             self.thread_work.shape[0] * self.makespan
         )
+
+    @property
+    def speculation_ratio(self) -> float:
+        """Fraction of dispatched batches that were discarded."""
+        if self.dispatched_batches == 0:
+            return 0.0
+        return self.discarded_batches / self.dispatched_batches
 
 
 def make_streams(config: FRWConfig, master: int):
@@ -74,6 +89,84 @@ def machine_rng(config: FRWConfig, master: int) -> np.random.Generator:
     )
 
 
+class RowProgress:
+    """Streaming accumulate-and-checkpoint state of one row extraction.
+
+    This is the *only* implementation of the per-batch accumulation and
+    the Alg. 2 global checkpoint: both :func:`extract_row_alg2` and the
+    cross-master interleaved scheduler feed batch results through it, so
+    a master's row is bit-identical under any batch execution schedule by
+    construction — provided batches are absorbed in batch-index order
+    (the machine RNG and the virtual-thread replay consume them in that
+    order).
+    """
+
+    def __init__(self, ctx: ExtractionContext, config: FRWConfig | None = None):
+        cfg = config if config is not None else ctx.config
+        self.ctx = ctx
+        self.cfg = cfg
+        self.acc = RowAccumulator(
+            ctx.n_conductors, ctx.master, summation=cfg.summation
+        )
+        self.rng_machine = machine_rng(cfg, ctx.master)
+        self.stats = RunStats(thread_work=np.zeros(cfg.n_threads))
+        self.done = False
+        self._t_start = time.perf_counter()
+
+    @property
+    def self_relative_error(self) -> float:
+        """Current relative half-width of the diagonal entry."""
+        return self.acc.self_relative_error
+
+    def absorb(self, results) -> bool:
+        """Accumulate one batch (in batch order) and run the checkpoint.
+
+        Returns ``True`` when the stopping rule fired (converged or walk
+        cap reached); further batches for this master must be discarded.
+        """
+        cfg = self.cfg
+        acc = self.acc
+        stats = self.stats
+        durations = jittered_durations(
+            results.steps, self.rng_machine, cfg.scheduler_jitter
+        )
+        schedule = simulate_dynamic_queue(durations, cfg.n_threads)
+        if cfg.deterministic_merge:
+            # Extension: accumulate in walk-ID order for guaranteed
+            # bitwise reproducibility; the schedule still feeds the
+            # Fig. 5 model.
+            acc.add_batch(results.omega, results.dest, results.steps)
+        else:
+            for thread_order in schedule.thread_order:
+                local = acc.spawn()
+                local.add_walks_ordered(
+                    results.omega[thread_order],
+                    results.dest[thread_order],
+                    results.steps[thread_order],
+                )
+                acc.merge(local)
+        stats.thread_work += schedule.thread_work
+        stats.makespan += schedule.makespan
+        stats.truncated += results.truncated
+        stats.batches += 1
+
+        # The global checkpoint (Alg. 2 line 11).
+        walks = acc.walks
+        if walks >= cfg.min_walks and acc.self_relative_error < cfg.tolerance:
+            stats.converged = True
+            self.done = True
+        elif walks >= cfg.max_walks:
+            self.done = True
+        return self.done
+
+    def finalize(self) -> tuple[CapacitanceRow, RunStats]:
+        """Freeze the totals and return ``(row, stats)``."""
+        self.stats.walks = self.acc.walks
+        self.stats.total_steps = self.acc.total_steps
+        self.stats.wall_time = time.perf_counter() - self._t_start
+        return self.acc.row(), self.stats
+
+
 def extract_row_alg2(
     ctx: ExtractionContext,
     config: FRWConfig | None = None,
@@ -91,60 +184,23 @@ def extract_row_alg2(
     here when the config calls for one.
     """
     cfg = config if config is not None else ctx.config
-    n = ctx.n_conductors
-    rng_machine = machine_rng(cfg, ctx.master)
-    global_acc = RowAccumulator(n, ctx.master, summation=cfg.summation)
-    stats = RunStats(thread_work=np.zeros(cfg.n_threads))
-    t_start = time.perf_counter()
+    progress = RowProgress(ctx, cfg)
     runner, owned = make_batch_runner(ctx, cfg, executor)
 
     try:
         batch_index = 0
         while True:
             results = runner.run_batch(batch_index)
-            durations = jittered_durations(
-                results.steps, rng_machine, cfg.scheduler_jitter
-            )
-            schedule = simulate_dynamic_queue(durations, cfg.n_threads)
-            if cfg.deterministic_merge:
-                # Extension: accumulate in walk-ID order for guaranteed
-                # bitwise reproducibility; the schedule still feeds the
-                # Fig. 5 model.
-                global_acc.add_batch(results.omega, results.dest, results.steps)
-            else:
-                for thread_order in schedule.thread_order:
-                    local = global_acc.spawn()
-                    local.add_walks_ordered(
-                        results.omega[thread_order],
-                        results.dest[thread_order],
-                        results.steps[thread_order],
-                    )
-                    global_acc.merge(local)
-            stats.thread_work += schedule.thread_work
-            stats.makespan += schedule.makespan
-            stats.truncated += results.truncated
-            stats.batches += 1
+            progress.stats.dispatched_batches += 1
             batch_index += 1
-
-            # The global checkpoint (Alg. 2 line 11).
-            walks = global_acc.walks
-            if (
-                walks >= cfg.min_walks
-                and global_acc.self_relative_error < cfg.tolerance
-            ):
-                stats.converged = True
-                break
-            if walks >= cfg.max_walks:
+            if progress.absorb(results):
                 break
     finally:
         runner.close()
         if owned is not None:
             owned.close()
 
-    stats.walks = global_acc.walks
-    stats.total_steps = global_acc.total_steps
-    stats.wall_time = time.perf_counter() - t_start
-    return global_acc.row(), stats
+    return progress.finalize()
 
 
 def extract_row_alg2_from_structure(

@@ -2,6 +2,10 @@
 
 Building the Gaussian surface, spatial index, and transition table is done
 once per master conductor; the walk engine then only touches packed arrays.
+The spatial index and the transition table are *master-independent* (the
+index depends only on the structure and ``h_cap``, the table only on its
+resolution), so a multi-master extraction shares them through a
+:class:`SharedAssets` cache instead of rebuilding per master.
 """
 
 from __future__ import annotations
@@ -53,10 +57,71 @@ class ExtractionContext:
         return self.surface.total_area * EPS0_FF_PER_UM
 
 
+class SharedAssets:
+    """Cache of master-independent context assets for one structure.
+
+    Owned by the solver (one per :class:`~repro.frw.solver.FRWSolver`):
+    the spatial index is keyed by ``h_cap`` and the cube transition table
+    by its resolution, so an N-master extraction builds each exactly once.
+    Hit/build counters feed the scheduler telemetry and the extraction
+    benchmark's cache assertions.
+    """
+
+    def __init__(self, structure: Structure):
+        self.structure = structure
+        self._indexes: dict[float, BruteForceIndex | GridIndex] = {}
+        self._tables: dict[int, CubeTransitionTable] = {}
+        self.index_builds = 0
+        self.index_hits = 0
+        self.table_builds = 0
+        self.table_hits = 0
+
+    def index(self, h_cap: float) -> BruteForceIndex | GridIndex:
+        """The structure's spatial index for ``h_cap`` (built once)."""
+        key = float(h_cap)
+        index = self._indexes.get(key)
+        if index is None:
+            index = build_index(self.structure, h_cap=key)
+            self._indexes[key] = index
+            self.index_builds += 1
+        else:
+            self.index_hits += 1
+        return index
+
+    def table(self, resolution: int) -> CubeTransitionTable:
+        """The cube transition table at ``resolution`` (built once)."""
+        key = int(resolution)
+        table = self._tables.get(key)
+        if table is None:
+            table = get_cube_table(key)
+            self._tables[key] = table
+            self.table_builds += 1
+        else:
+            self.table_hits += 1
+        return table
+
+    def stats(self) -> dict:
+        """Cache counters (for result meta and the extraction benchmark)."""
+        return {
+            "index_builds": self.index_builds,
+            "index_hits": self.index_hits,
+            "table_builds": self.table_builds,
+            "table_hits": self.table_hits,
+        }
+
+
 def build_context(
-    structure: Structure, master: int, config: FRWConfig
+    structure: Structure,
+    master: int,
+    config: FRWConfig,
+    assets: SharedAssets | None = None,
 ) -> ExtractionContext:
-    """Assemble the extraction context for one master conductor."""
+    """Assemble the extraction context for one master conductor.
+
+    ``assets`` (optional) caches the master-independent pieces — the
+    spatial index and the transition table — across calls; the resulting
+    contexts are identical to standalone builds.
+    """
     if not (0 <= master < len(structure.conductors)):
         raise GaussianSurfaceError(
             f"master index {master} out of range "
@@ -67,7 +132,10 @@ def build_context(
     )
     enc = structure.enclosure
     h_cap = config.h_cap_fraction * min(enc.sizes)
-    index = build_index(structure, h_cap=h_cap)
+    if assets is not None:
+        index = assets.index(h_cap)
+    else:
+        index = build_index(structure, h_cap=h_cap)
     absorb_tol = config.absorption_fraction * surface.delta
     # Fail early only on the degenerate configuration: a *horizontal*
     # Gaussian patch coplanar (within the absorption tolerance) with a
@@ -90,13 +158,18 @@ def build_context(
                     "a dielectric interface; adjust offset_fraction or the "
                     "layer stack"
                 )
+    table = (
+        assets.table(config.table_resolution)
+        if assets is not None
+        else get_cube_table(config.table_resolution)
+    )
     return ExtractionContext(
         structure=structure,
         master=master,
         config=config,
         surface=surface,
         index=index,
-        table=get_cube_table(config.table_resolution),
+        table=table,
         h_cap=h_cap,
         absorb_tol=absorb_tol,
     )

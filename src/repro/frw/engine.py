@@ -109,6 +109,15 @@ class StageTimers:
         setattr(self, stage, getattr(self, stage) + (t1 - t0))
         return t1
 
+    def merge(self, other: "StageTimers") -> None:
+        """Fold another timer's stages into this one (cross-worker or
+        cross-master aggregation; stage seconds and step counts add)."""
+        self.rng += other.rng
+        self.index += other.index
+        self.sample += other.sample
+        self.bookkeeping += other.bookkeeping
+        self.steps += other.steps
+
     @property
     def total(self) -> float:
         """Sum over all stages."""

@@ -15,11 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..config import FRWConfig
-from .alg2_reproducible import RunStats
-
 
 @dataclass(frozen=True)
 class GroupPlan:
@@ -59,62 +54,27 @@ def multilevel_extract(solver, masters: list[int] | None = None, min_threads_per
     extraction at ``n_threads = threads_per_group`` of the walk's group —
     only scheduling differs.  Returns the same result type as
     ``solver.extract``.
-    """
-    from .solver import ExtractionResult  # local import to avoid a cycle
 
+    This is a thin wrapper over the solver's real cross-master scheduler:
+    the group plan becomes a per-master virtual-thread override and the
+    batches of all groups interleave over the one executor (matrix
+    assembly and regularization are the shared ``extract`` epilogue, so
+    the result metadata is identical too).
+    """
     if masters is None:
         masters = list(range(len(solver.structure.conductors)))
     plan = plan_groups(masters, solver.config.n_threads, min_threads_per_group)
-    rows = {}
-    stats: dict[int, RunStats] = {}
-    base_config: FRWConfig = solver.config
-    import time
-
-    t0 = time.perf_counter()
-    for group, t_group in zip(plan.groups, plan.threads_per_group):
-        group_config = base_config.with_(n_threads=max(1, t_group))
-        for master in group:
-            ctx = solver.context(master)
-            if base_config.variant == "alg1":
-                from .alg1_baseline import extract_row_alg1
-
-                row, stat = extract_row_alg1(ctx, group_config)
-            else:
-                from .alg2_reproducible import extract_row_alg2
-
-                row, stat = extract_row_alg2(
-                    ctx, group_config, executor=solver.walk_executor()
-                )
-            rows[master] = row
-            stats[master] = stat
-    wall = time.perf_counter() - t0
-
-    from ..analysis.capmatrix import CapacitanceMatrix
-    from ..reliability import check_properties, regularize
-
-    ordered = [rows[m] for m in masters]
-    raw = CapacitanceMatrix(
-        values=np.stack([r.values for r in ordered]),
-        masters=list(masters),
-        names=solver.structure.names,
-        sigma2=np.stack([r.sigma2 for r in ordered]),
-        hits=np.stack([r.hits for r in ordered]),
-        meta={"variant": base_config.variant, "multilevel": True},
-    )
-    reg_time = 0.0
-    if base_config.uses_regularization:
-        t1 = time.perf_counter()
-        matrix = regularize(raw)
-        reg_time = time.perf_counter() - t1
-    else:
-        matrix = raw
-    return ExtractionResult(
-        matrix=matrix,
-        raw_matrix=raw,
-        rows=ordered,
-        stats=[stats[m] for m in masters],
-        config=base_config,
-        wall_time=wall,
-        regularization_time=reg_time,
-        report=check_properties(matrix),
+    overrides = {
+        master: max(1, t_group)
+        for group, t_group in zip(plan.groups, plan.threads_per_group)
+        for master in group
+    }
+    return solver.extract(
+        masters,
+        thread_overrides=overrides,
+        extra_meta={
+            "multilevel": True,
+            "n_groups": plan.n_groups,
+            "threads_per_group": list(plan.threads_per_group),
+        },
     )

@@ -112,6 +112,41 @@ def _process_chunk(key: int, uids: np.ndarray) -> WalkResults:
     return run_walks(ctx, streams, uids)
 
 
+class PendingBatch:
+    """Handle to a dispatched walk batch (one UID set, maybe chunked).
+
+    Either ``waiters`` (per-chunk blocking getters, e.g. future results)
+    or ``thunk`` (a lazy whole-batch computation) backs the handle;
+    :meth:`result` gathers and reassembles in UID order.  Lazy handles
+    compute nothing until gathered, so speculative batches that a
+    stopping rule obsoletes are free to drop.
+    """
+
+    __slots__ = ("uids", "_waiters", "_thunk", "_result")
+
+    def __init__(self, uids: np.ndarray, waiters=None, thunk=None):
+        self.uids = uids
+        self._waiters = waiters
+        self._thunk = thunk
+        self._result: WalkResults | None = None
+
+    def result(self) -> WalkResults:
+        """Block until the batch completes; UID-ordered results."""
+        if self._result is None:
+            if self._waiters is not None:
+                parts = [wait() for wait in self._waiters]
+                self._result = (
+                    parts[0]
+                    if len(parts) == 1
+                    else _reassemble(self.uids, parts)
+                )
+            else:
+                self._result = self._thunk()
+            self._waiters = None
+            self._thunk = None
+        return self._result
+
+
 class PersistentExecutor:
     """A walk-execution pool created once and reused for a whole extraction.
 
@@ -204,24 +239,52 @@ class PersistentExecutor:
     # ------------------------------------------------------------------
     def run(self, key: int, uids: np.ndarray) -> WalkResults:
         """Execute one batch of walks, reassembled in UID order."""
+        return self.run_async(key, uids).result()
+
+    def run_async(
+        self, key: int, uids: np.ndarray, max_chunks: int | None = None
+    ) -> "PendingBatch":
+        """Dispatch one batch without blocking; returns a handle.
+
+        The handle's :meth:`PendingBatch.result` reassembles the chunk
+        results in UID order, so a gathered batch is bit-identical to the
+        serial engine no matter how its chunks were scheduled.  On the
+        serial fallback the handle is *lazy* — the walks run on the first
+        ``result()`` call, so handles that are dropped (speculative
+        batches past a stopping rule) cost nothing.
+
+        ``max_chunks`` caps how many work items the batch splits into
+        (the cross-master scheduler keeps batches whole when enough other
+        masters' batches fill the pool — wide engine vectors beat fine
+        chunking).  An explicit ``chunk_size`` on the executor wins over
+        the cap; chunking never changes results, only the schedule.
+        """
         uids = np.asarray(uids, dtype=np.uint64)
         n = uids.shape[0]
         ctx, spec = self._registry[key]
         if self.backend == "serial" or self.n_workers == 1 or n < 2:
-            return run_walks(ctx, streams_from_spec(spec), uids)
-        bounds = _chunk_bounds(n, self.n_workers, self.chunk_size)
+            return PendingBatch(
+                uids, thunk=lambda: run_walks(ctx, streams_from_spec(spec), uids)
+            )
+        if max_chunks is not None and self.chunk_size <= 0:
+            max_chunks = max(1, int(max_chunks))
+            bounds = _chunk_bounds(
+                n, max_chunks, (n + max_chunks - 1) // max_chunks
+            )
+        else:
+            bounds = _chunk_bounds(n, self.n_workers, self.chunk_size)
         chunks = [uids[a:b] for a, b in bounds]
         if self.backend == "thread":
             futures = [
                 self._threads().submit(run_walks, ctx, streams_from_spec(spec), c)
                 for c in chunks
             ]
-            parts = [f.result() for f in futures]
-        else:
-            parts = self._processes().starmap(
-                _process_chunk, [(key, c) for c in chunks]
-            )
-        return _reassemble(uids, parts)
+            return PendingBatch(uids, waiters=[f.result for f in futures])
+        asyncs = [
+            self._processes().apply_async(_process_chunk, (key, c))
+            for c in chunks
+        ]
+        return PendingBatch(uids, waiters=[a.get for a in asyncs])
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -101,6 +101,63 @@ def simulate_dynamic_queue(
     )
 
 
+def variance_weights(
+    rel_errors: np.ndarray, tolerance: float, cap: float = 32.0
+) -> np.ndarray:
+    """Quota weights from per-master convergence deficits.
+
+    A master's remaining walk demand scales like ``(rel_err / tol)^2``
+    (Monte-Carlo half-widths shrink as ``1/sqrt(M)``), so the weight is
+    that ratio squared, clamped to ``cap`` — masters with no estimate yet
+    (``inf`` half-width) weigh exactly ``cap``, converged masters weigh 0.
+    Deterministic: a pure function of the accumulated estimates.
+    """
+    rel = np.asarray(rel_errors, dtype=np.float64)
+    ratio = np.where(np.isfinite(rel), rel / max(tolerance, 1e-300), cap)
+    ratio = np.clip(ratio, 0.0, cap)
+    weights = ratio * ratio
+    weights[ratio <= 1.0] = 0.0
+    return weights
+
+
+def allocate_quota(
+    weights: np.ndarray, total: int, min_share: int = 1
+) -> np.ndarray:
+    """Integer quota split of ``total`` proportional to ``weights``.
+
+    Every entry receives at least ``min_share``; the remainder is split by
+    the largest-remainder method with ties broken by index, so the
+    allocation is deterministic.  All-zero weights fall back to an even
+    split.  Used by the cross-master scheduler to decide how many
+    speculative batches each master keeps in flight — never which walks a
+    batch contains.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    min_share = max(0, int(min_share))
+    quota = np.full(n, min_share, dtype=np.int64)
+    spare = int(total) - min_share * n
+    if spare <= 0:
+        return quota
+    wsum = float(weights.sum())
+    if wsum <= 0.0:
+        weights = np.ones(n, dtype=np.float64)
+        wsum = float(n)
+    shares = weights * (spare / wsum)
+    floors = np.floor(shares).astype(np.int64)
+    quota += floors
+    leftover = spare - int(floors.sum())
+    if leftover > 0:
+        remainders = shares - floors
+        # Largest remainder first; np.argsort is stable, so equal
+        # remainders resolve by index.
+        order = np.argsort(-remainders, kind="stable")
+        quota[order[:leftover]] += 1
+    return quota
+
+
 def simulate_static_blocks(
     durations: np.ndarray, n_threads: int
 ) -> ScheduleResult:

@@ -21,6 +21,11 @@ frw-nc    Alg. 2, Kahan, MT per-walk reseeding       none
 frw-r     Alg. 2, Kahan, CBRNG                       none
 frw-rr    Alg. 2, Kahan, CBRNG                       Alg. 3 regularization
 ========  =========================================  ====================
+
+Multi-master extractions run through the cross-master interleaved
+scheduler by default (``config.interleave_masters``): batches from all
+masters share the one executor, and per-master rows stay bit-identical
+to the serial per-master loop (see :mod:`repro.frw.cross_master`).
 """
 
 from __future__ import annotations
@@ -37,7 +42,8 @@ from ..geometry import Structure
 from ..reliability import PropertyReport, check_properties, regularize
 from .alg1_baseline import extract_row_alg1
 from .alg2_reproducible import RunStats, extract_row_alg2
-from .context import ExtractionContext, build_context
+from .context import ExtractionContext, SharedAssets, build_context
+from .cross_master import extract_rows_interleaved, resolve_wave
 from .estimator import CapacitanceRow
 from .parallel import PersistentExecutor, resolve_workers, stream_spec
 
@@ -74,9 +80,21 @@ class ExtractionResult:
         """Parallel runtime model for Fig. 5 (seconds).
 
         ``max_t(work_t)`` summed over masters, scaled by the measured
-        single-thread step throughput of this run.  With ``n_threads`` the
-        schedule work counters must have been collected at that DOP.
+        single-thread step throughput of this run.  The schedule work
+        counters are collected at the configured DOP; passing
+        ``n_threads`` asserts that every master's counters were collected
+        at exactly that DOP (a mismatch raises ``ValueError`` instead of
+        silently modeling the wrong machine).
         """
+        if n_threads is not None:
+            collected = sorted(
+                {int(s.thread_work.shape[0]) for s in self.stats}
+            )
+            if collected != [int(n_threads)]:
+                raise ValueError(
+                    f"modeled_runtime(n_threads={n_threads}) but the "
+                    f"schedule was collected at DOP(s) {collected}"
+                )
         total_span = sum(float(s.thread_work.max()) for s in self.stats)
         total_work = sum(float(s.thread_work.sum()) for s in self.stats)
         if total_work == 0.0:
@@ -85,21 +103,71 @@ class ExtractionResult:
         return total_span * seconds_per_unit
 
 
+def assemble_result(
+    structure: Structure,
+    config: FRWConfig,
+    masters: list[int],
+    rows: list[CapacitanceRow],
+    stats: list[RunStats],
+    wall_time: float,
+    extra_meta: dict | None = None,
+) -> ExtractionResult:
+    """Matrix assembly + regularization epilogue shared by every
+    extraction entry point (``FRWSolver.extract``, ``multilevel_extract``),
+    so result metadata cannot drift between them."""
+    meta = {
+        "variant": config.variant,
+        "seed": config.seed,
+        "n_threads": config.n_threads,
+        "tolerance": config.tolerance,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    raw = CapacitanceMatrix(
+        values=np.stack([r.values for r in rows]),
+        masters=list(masters),
+        names=structure.names,
+        sigma2=np.stack([r.sigma2 for r in rows]),
+        hits=np.stack([r.hits for r in rows]),
+        meta=meta,
+    )
+    reg_time = 0.0
+    if config.uses_regularization:
+        t1 = time.perf_counter()
+        matrix = regularize(raw)
+        reg_time = time.perf_counter() - t1
+    else:
+        matrix = raw
+    return ExtractionResult(
+        matrix=matrix,
+        raw_matrix=raw,
+        rows=rows,
+        stats=stats,
+        config=config,
+        wall_time=wall_time,
+        regularization_time=reg_time,
+        report=check_properties(matrix),
+    )
+
+
 class FRWSolver:
     """Parallel FRW capacitance extractor for a :class:`Structure`.
 
     The solver owns the real-concurrency resources: extraction contexts are
-    cached per master and, when the config selects a ``thread`` or
-    ``process`` executor with more than one worker, one
-    :class:`~repro.frw.parallel.PersistentExecutor` is created lazily and
-    reused across batches *and* masters.  Call :meth:`close` (or use the
-    solver as a context manager) to release the pools; results are
-    bit-identical across executor backends, so this only affects wall time.
+    cached per master (sharing the master-independent assets — spatial
+    index, cube table — through one :class:`SharedAssets` cache) and, when
+    the config selects a ``thread`` or ``process`` executor with more than
+    one worker, one :class:`~repro.frw.parallel.PersistentExecutor` is
+    created lazily and reused across batches *and* masters.  Call
+    :meth:`close` (or use the solver as a context manager) to release the
+    pools; results are bit-identical across executor backends, so this only
+    affects wall time.
     """
 
     def __init__(self, structure: Structure, config: FRWConfig | None = None):
         self.structure = structure
         self.config = config if config is not None else FRWConfig()
+        self.assets = SharedAssets(structure)
         self._contexts: dict[int, ExtractionContext] = {}
         self._executor: PersistentExecutor | None = None
 
@@ -107,7 +175,9 @@ class FRWSolver:
         """Cached extraction context for one master conductor."""
         ctx = self._contexts.get(master)
         if ctx is None:
-            ctx = build_context(self.structure, master, self.config)
+            ctx = build_context(
+                self.structure, master, self.config, assets=self.assets
+            )
             self._contexts[master] = ctx
         return ctx
 
@@ -146,8 +216,61 @@ class FRWSolver:
             return extract_row_alg1(ctx, self.config)
         return extract_row_alg2(ctx, self.config, executor=self.walk_executor())
 
-    def extract(self, masters: list[int] | None = None) -> ExtractionResult:
+    def _extract_serial_masters(
+        self,
+        masters: list[int],
+        executor: PersistentExecutor | None,
+        thread_overrides: dict[int, int] | None,
+    ) -> tuple[list[CapacitanceRow], list[RunStats]]:
+        """The historical master-after-master loop (alg1, opted-out
+        interleaving).  Contexts for the process backend are registered
+        lazily in waves, so a small master subset of a large structure
+        builds and ships only its own contexts."""
+        overrides = thread_overrides or {}
+        wave = resolve_wave(
+            self.config.register_wave,
+            executor.n_workers if executor is not None else 1,
+        )
+        rows: list[CapacitanceRow] = []
+        stats: list[RunStats] = []
+        for start in range(0, len(masters), wave):
+            chunk = masters[start : start + wave]
+            if executor is not None and executor.backend == "process":
+                # One registration burst per wave: the fork pool restarts
+                # once, shipping the whole wave's contexts together.
+                for master in chunk:
+                    executor.register(
+                        self.context(master), stream_spec(self.config, master)
+                    )
+            for master in chunk:
+                cfg = self.config
+                t = overrides.get(master)
+                if t is not None and t != cfg.n_threads:
+                    cfg = cfg.with_(n_threads=max(1, t))
+                ctx = self.context(master)
+                if cfg.variant == "alg1":
+                    row, stat = extract_row_alg1(ctx, cfg)
+                else:
+                    row, stat = extract_row_alg2(ctx, cfg, executor=executor)
+                rows.append(row)
+                stats.append(stat)
+        return rows, stats
+
+    def extract(
+        self,
+        masters: list[int] | None = None,
+        *,
+        thread_overrides: dict[int, int] | None = None,
+        extra_meta: dict | None = None,
+    ) -> ExtractionResult:
         """Extract rows for the given masters (default: all conductors).
+
+        Multi-master calls run through the cross-master interleaved
+        scheduler when ``config.interleave_masters`` is set (batches from
+        all masters share the executor; rows are bit-identical to the
+        serial per-master loop).  ``thread_overrides`` maps a master to
+        the virtual-thread DOP its accumulation replays at (used by
+        :func:`~repro.frw.multilevel.multilevel_extract` group plans).
 
         For ``frw-rr``, masters must be ``0..Nm-1`` (the regularization
         couples rows through the symmetry constraint).
@@ -157,51 +280,39 @@ class FRWSolver:
         if not masters:
             raise ConfigError("need at least one master conductor")
         executor = self.walk_executor()
-        if executor is not None and executor.backend == "process":
-            # Register every master's context before the first batch so the
-            # fork pool ships them all at once and never restarts mid-run.
-            for master in masters:
-                executor.register(
-                    self.context(master), stream_spec(self.config, master)
-                )
+        interleaved = (
+            self.config.interleave_masters
+            and len(masters) > 1
+            and self.config.variant != "alg1"
+        )
         t0 = time.perf_counter()
-        rows: list[CapacitanceRow] = []
-        stats: list[RunStats] = []
-        for master in masters:
-            row, stat = self.extract_row(master)
-            rows.append(row)
-            stats.append(stat)
+        if interleaved:
+            rows, stats = extract_rows_interleaved(
+                masters,
+                self.config,
+                self.context,
+                executor=executor,
+                thread_overrides=thread_overrides,
+            )
+        else:
+            rows, stats = self._extract_serial_masters(
+                masters, executor, thread_overrides
+            )
         wall = time.perf_counter() - t0
 
-        raw = CapacitanceMatrix(
-            values=np.stack([r.values for r in rows]),
-            masters=list(masters),
-            names=self.structure.names,
-            sigma2=np.stack([r.sigma2 for r in rows]),
-            hits=np.stack([r.hits for r in rows]),
-            meta={
-                "variant": self.config.variant,
-                "seed": self.config.seed,
-                "n_threads": self.config.n_threads,
-                "tolerance": self.config.tolerance,
-            },
-        )
-        reg_time = 0.0
-        if self.config.uses_regularization:
-            t1 = time.perf_counter()
-            matrix = regularize(raw)
-            reg_time = time.perf_counter() - t1
-        else:
-            matrix = raw
-        return ExtractionResult(
-            matrix=matrix,
-            raw_matrix=raw,
-            rows=rows,
-            stats=stats,
-            config=self.config,
-            wall_time=wall,
-            regularization_time=reg_time,
-            report=check_properties(matrix),
+        meta = {
+            "schedule": {
+                "interleaved": interleaved,
+                "allocation": self.config.allocation,
+                "asset_cache": self.assets.stats(),
+                "dispatched_batches": sum(s.dispatched_batches for s in stats),
+                "discarded_batches": sum(s.discarded_batches for s in stats),
+            }
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        return assemble_result(
+            self.structure, self.config, masters, rows, stats, wall, meta
         )
 
 

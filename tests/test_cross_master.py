@@ -1,0 +1,166 @@
+"""Golden cross-master bit-identity suite for the interleaved scheduler.
+
+The acceptance criterion of the scheduler: every row of a multi-master
+``extract()`` under the interleaved scheduler — any backend, any
+``n_workers``, allocation on or off — equals the pre-PR serial per-master
+rows bit for bit (``values``/``sigma2``/``hits``/``walks``/``batches``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Box, Conductor, FRWConfig, FRWSolver, Structure
+from repro.frw import build_context, extract_row_alg2
+from repro.frw.scheduler import allocate_quota, variance_weights
+
+BASE = dict(
+    seed=13,
+    n_threads=4,
+    batch_size=256,
+    min_walks=512,
+    max_walks=1536,
+    tolerance=2e-2,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_rows(three_wires):
+    """Pre-PR reference: serial per-master extraction (plain engine)."""
+    cfg = FRWConfig.frw_r(
+        **BASE, executor="serial", pipeline=False, interleave_masters=False
+    )
+    return [
+        extract_row_alg2(build_context(three_wires, m, cfg))
+        for m in range(3)
+    ]
+
+
+def _assert_rows_match(result, golden):
+    for got, (row, stats) in zip(result.rows, golden):
+        assert np.array_equal(got.values, row.values)
+        assert np.array_equal(got.sigma2, row.sigma2)
+        assert np.array_equal(got.hits, row.hits)
+        assert got.walks == row.walks
+        assert got.total_steps == row.total_steps
+    for got, (row, stats) in zip(result.stats, golden):
+        assert got.batches == stats.batches
+        assert got.converged == stats.converged
+
+
+@pytest.mark.parametrize("allocation", ["even", "variance"])
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_interleaved_bitwise_golden(
+    three_wires, golden_rows, backend, n_workers, allocation
+):
+    cfg = FRWConfig.frw_r(
+        **BASE, executor=backend, n_workers=n_workers, allocation=allocation
+    )
+    with FRWSolver(three_wires, cfg) as solver:
+        result = solver.extract()
+    _assert_rows_match(result, golden_rows)
+
+
+def test_interleaved_serial_executor_bitwise(three_wires, golden_rows):
+    cfg = FRWConfig.frw_r(**BASE, executor="serial")
+    result = FRWSolver(three_wires, cfg).extract()
+    _assert_rows_match(result, golden_rows)
+
+
+def test_interleave_opt_out_bitwise(three_wires, golden_rows):
+    cfg = FRWConfig.frw_r(
+        **BASE, executor="thread", n_workers=2, interleave_masters=False
+    )
+    with FRWSolver(three_wires, cfg) as solver:
+        result = solver.extract()
+    assert result.matrix.meta["schedule"]["interleaved"] is False
+    _assert_rows_match(result, golden_rows)
+
+
+def test_register_wave_bitwise(three_wires, golden_rows):
+    """Waved admission (one master at a time) changes only the schedule."""
+    cfg = FRWConfig.frw_r(
+        **BASE, executor="process", n_workers=2, register_wave=1
+    )
+    with FRWSolver(three_wires, cfg) as solver:
+        result = solver.extract()
+    _assert_rows_match(result, golden_rows)
+
+
+def test_schedule_telemetry_and_asset_cache(three_wires):
+    cfg = FRWConfig.frw_r(**BASE, executor="thread", n_workers=2)
+    with FRWSolver(three_wires, cfg) as solver:
+        result = solver.extract()
+    sched = result.matrix.meta["schedule"]
+    assert sched["interleaved"] is True
+    assert sched["allocation"] == "variance"
+    # The structure index and cube table are built once and shared.
+    cache = sched["asset_cache"]
+    assert cache["index_builds"] == 1
+    assert cache["index_hits"] == 2
+    assert cache["table_builds"] == 1
+    # Dispatch counters: every accumulated batch was dispatched, and the
+    # discard count accounts for the speculative overshoot.
+    accumulated = sum(s.batches for s in result.stats)
+    assert sched["dispatched_batches"] == accumulated + sched["discarded_batches"]
+    for s in result.stats:
+        assert s.dispatched_batches >= s.batches
+        assert s.allocation_rounds >= s.batches
+        assert 0.0 <= s.speculation_ratio <= 1.0
+
+
+def test_lazy_registration_for_master_subset():
+    """A 2-master subset of a 10-conductor structure builds and registers
+    exactly 2 contexts (registration is lazy-but-batched)."""
+    wires = [
+        Conductor.single(
+            f"w{i}", Box.from_bounds(2.0 * i, 2.0 * i + 1.0, 0, 8, 0, 1)
+        )
+        for i in range(10)
+    ]
+    structure = Structure(
+        wires, enclosure=Box.from_bounds(-4, 23, -4, 12, -4, 5)
+    )
+    cfg = FRWConfig.frw_r(**BASE, executor="process", n_workers=2)
+    with FRWSolver(structure, cfg) as solver:
+        result = solver.extract(masters=[0, 5])
+        assert sorted(solver._contexts) == [0, 5]
+        assert len(solver._executor._registry) == 2
+    assert result.matrix.masters == [0, 5]
+    # The subset rows match a fresh solver extracting the same masters.
+    with FRWSolver(structure, cfg) as fresh:
+        again = fresh.extract(masters=[0, 5])
+    assert np.array_equal(result.matrix.values, again.matrix.values)
+
+
+# ----------------------------------------------------------------------
+# Allocation policy units
+# ----------------------------------------------------------------------
+def test_allocate_quota_even_split():
+    q = allocate_quota(np.ones(3), total=9, min_share=1)
+    assert q.tolist() == [3, 3, 3]
+
+
+def test_allocate_quota_min_share_and_weights():
+    q = allocate_quota(np.array([0.0, 0.0, 10.0]), total=6, min_share=1)
+    assert q.tolist() == [1, 1, 4]
+    assert q.sum() == 6
+
+
+def test_allocate_quota_deterministic_ties():
+    a = allocate_quota(np.array([1.0, 1.0, 1.0]), total=5, min_share=1)
+    b = allocate_quota(np.array([1.0, 1.0, 1.0]), total=5, min_share=1)
+    assert a.tolist() == b.tolist()
+    assert a.sum() == 5
+
+
+def test_allocate_quota_all_zero_weights_falls_back_even():
+    q = allocate_quota(np.zeros(4), total=8, min_share=1)
+    assert q.tolist() == [2, 2, 2, 2]
+
+
+def test_variance_weights_shape():
+    w = variance_weights(np.array([np.inf, 0.05, 0.005]), tolerance=0.01)
+    assert w[0] == pytest.approx(32.0**2)  # no estimate yet: max weight
+    assert w[1] == pytest.approx(25.0)  # 5x over tolerance
+    assert w[2] == 0.0  # converged: no speculation

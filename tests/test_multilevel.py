@@ -51,3 +51,15 @@ def test_multilevel_regularizes(three_wires, quick_config):
     cfg = quick_config.with_(variant="frw-rr")
     result = multilevel_extract(FRWSolver(three_wires, cfg))
     assert result.report.reliable
+
+
+def test_multilevel_meta_shares_extract_epilogue(three_wires, quick_config):
+    """The wrapper goes through the same assembly helper as ``extract``,
+    so seed/tolerance no longer drift out of the multilevel meta."""
+    result = multilevel_extract(FRWSolver(three_wires, quick_config))
+    meta = result.matrix.meta
+    assert meta["multilevel"] is True
+    assert meta["seed"] == quick_config.seed
+    assert meta["tolerance"] == quick_config.tolerance
+    assert meta["n_groups"] >= 1
+    assert sum(meta["threads_per_group"]) == quick_config.n_threads
