@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples experiments experiments-quick clean
+.PHONY: install test bench bench-micro examples experiments experiments-quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,7 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Append a fresh entry to both benchmark trajectories (BENCH_engine.json,
+# BENCH_extract.json): engine stage breakdown + far-field hit rates, and
+# the cross-master schedule comparison.
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_extract.py
+
+bench-micro:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:

@@ -1,27 +1,38 @@
 """Engine throughput benchmark — emits BENCH_engine.json.
 
-Measures walks/sec and steps/sec of the extraction hot path in four
-configurations so future changes can track the trajectory:
+Measures walks/sec and steps/sec of the extraction hot path so future
+changes can track the trajectory:
 
-* ``engine_plain``      — per-batch ``run_walks`` (the seed's engine path).
-* ``engine_pipelined``  — cross-batch ``run_walks_pipelined`` (refilled
-  vector, same walks, bit-identical results).
-* ``extract_seed_style``— full ``extract_row`` with the seed's scheduling:
-  per-batch engine + per-walk scalar merge replay (emulated here).
-* ``extract_default``   — full ``extract_row_alg2`` with the current
+* ``engine_plain``        — per-batch ``run_walks`` (the seed's engine path).
+* ``engine_pipelined``    — cross-batch ``run_walks_pipelined`` (refilled
+  vector, same walks, bit-identical results) with the spatial fast path
+  at its defaults.
+* ``engine_pipelined_nofast`` — the same engine with the far-field fast
+  path disabled (``far_field=False`` picks the pre-fast-path index), so
+  the fast path's net effect on this case is visible in one entry.
+* ``extract_seed_style``  — full ``extract_row`` with the seed's
+  scheduling: per-batch engine + per-walk scalar merge replay.
+* ``extract_default``     — full ``extract_row_alg2`` with the current
   defaults (pipelined engine + vectorised ordered merge replay; the
   thread/process executors engage automatically on multi-core hosts).
+* ``open_field`` / ``open_field_nofast`` — the pipelined engine on an
+  *open-field-dominated* case: thin wires in a roomy enclosure with a
+  small ``h_cap`` so most steps are capped far-field steps, which is the
+  workload the tier-1 bounds exist for.
 
-``engine_pipelined`` additionally reports the per-stage timing breakdown
-(rng / index / sample / bookkeeping) from the engine's
-:class:`~repro.frw.engine.StageTimers`, so a regression is attributable to
-a stage, not just a total.
+**Every** variant reports the engine's per-stage timing breakdown
+(rng / index_fast / index / sample / bookkeeping) from
+:class:`~repro.frw.engine.StageTimers` and the spatial index's far-field
+hit rate, so a regression is attributable to a stage, not just a total.
 
 The output file is a *trajectory*: every invocation appends a timestamped
 entry (with git revision and host info) to the ``runs`` list instead of
 overwriting the snapshot, so the perf history is tracked across PRs.  A
 pre-trajectory single-snapshot file is converted into the first run on the
-next append.
+next append.  ``--warn-regression`` compares the fresh entry's
+``engine_pipelined`` steps/sec against the previous trajectory entry and
+prints a GitHub ``::warning::`` annotation when it regressed by more than
+20% — warn-only, for noisy CI runners.
 
 Usage::
 
@@ -40,7 +51,7 @@ from datetime import datetime, timezone
 
 import numpy as np
 
-from repro import FRWConfig
+from repro import Box, Conductor, FRWConfig, Structure
 from repro.frw import (
     StageTimers,
     build_context,
@@ -58,52 +69,90 @@ BATCH = 2048
 N_BATCHES = 4
 SEED = 9
 
+# The open-field case: thin wires in a roomy enclosure with a small cap,
+# so ~2/3 of all step queries land in provably-far cells.
+OPEN_WALKS = 32768
+OPEN_WIDTH = 8192
+OPEN_H_CAP_FRACTION = 0.05
+REGRESSION_WARN = 0.20
 
-def _time(fn, repeats: int = 3):
-    """Best-of-N wall time and the last return value."""
+
+def build_open_field() -> Structure:
+    """Three thin wires in a large empty enclosure."""
+    wires = [
+        Conductor.single(
+            f"w{i}", Box.from_bounds(2.0 * i, 2.0 * i + 1.0, 0, 8, 0, 1)
+        )
+        for i in range(3)
+    ]
+    return Structure(
+        wires, enclosure=Box.from_bounds(-20, 25, -20, 28, -20, 21)
+    )
+
+
+def _far_field_rate(ctx) -> float | None:
+    stats = getattr(ctx.index, "stats", None)
+    return None if stats is None else round(stats.far_field_rate, 4)
+
+
+def _reset_stats(ctx) -> None:
+    """Zero the index query counters so each variant's hit rate is its own."""
+    stats = getattr(ctx.index, "stats", None)
+    if stats is not None:
+        stats.reset()
+
+
+def _stage_dict(timers: StageTimers) -> dict:
+    return {
+        stage: round(value, 6) if isinstance(value, float) else value
+        for stage, value in timers.as_dict().items()
+    }
+
+
+def _best_of(run, repeats: int = 3):
+    """Best-of-N wall time; ``run`` returns (steps, timers)."""
     best = float("inf")
     out = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
+        res = run()
+        secs = time.perf_counter() - t0
+        if secs < best:
+            best, out = secs, res
+    steps, timers = out
+    return best, steps, timers
 
 
 def bench_engine_plain(ctx):
+    _reset_stats(ctx)
+
     def run():
-        parts = []
+        timers = StageTimers()
+        steps = 0
         streams = WalkStreams(SEED)
         for u in range(N_BATCHES):
             uids = np.arange(u * BATCH, (u + 1) * BATCH, dtype=np.uint64)
-            parts.append(run_walks(ctx, streams, uids))
-        return parts
+            res = run_walks(ctx, streams, uids, None, timers)
+            steps += int(res.steps.sum())
+        return steps, timers
 
-    secs, parts = _time(run)
-    steps = int(sum(p.steps.sum() for p in parts))
-    return secs, N_BATCHES * BATCH, steps
+    secs, steps, timers = _best_of(run)
+    return secs, N_BATCHES * BATCH, steps, timers
 
 
-def bench_engine_pipelined(ctx):
-    uids = np.arange(N_BATCHES * BATCH, dtype=np.uint64)
+def bench_engine_pipelined(ctx, n_walks=N_BATCHES * BATCH, width=BATCH):
+    _reset_stats(ctx)
+    uids = np.arange(n_walks, dtype=np.uint64)
 
     def run():
         timers = StageTimers()
         res = run_walks_pipelined(
-            ctx, WalkStreams(SEED), uids, width=BATCH, lookahead=2, timers=timers
+            ctx, WalkStreams(SEED), uids, width=width, lookahead=2, timers=timers
         )
-        return res, timers
+        return int(res.steps.sum()), timers
 
-    best = float("inf")
-    out = None
-    for _ in range(3):
-        t0 = time.perf_counter()
-        res, timers = run()
-        secs = time.perf_counter() - t0
-        if secs < best:
-            best, out = secs, (res, timers)
-    res, timers = out
-    return best, uids.shape[0], int(res.steps.sum()), timers
+    secs, steps, timers = _best_of(run)
+    return secs, n_walks, steps, timers
 
 
 def _extract_config(**overrides):
@@ -124,12 +173,13 @@ def bench_extract_seed_style(structure):
     ctx = build_context(structure, 0, cfg)
 
     def run():
+        timers = StageTimers()
         streams = make_streams(cfg, ctx.master)
         rng_machine = machine_rng(cfg, ctx.master)
         acc = RowAccumulator(ctx.n_conductors, ctx.master, summation=cfg.summation)
         for u in range(N_BATCHES):
             uids = np.arange(u * BATCH, (u + 1) * BATCH, dtype=np.uint64)
-            results = run_walks(ctx, streams, uids)
+            results = run_walks(ctx, streams, uids, None, timers)
             durations = jittered_durations(
                 results.steps, rng_machine, cfg.scheduler_jitter
             )
@@ -143,10 +193,10 @@ def bench_extract_seed_style(structure):
                         int(results.steps[w]),
                     )
                 acc.merge(local)
-        return acc
+        return acc.total_steps, timers
 
-    secs, acc = _time(run)
-    return secs, acc.walks, acc.total_steps
+    secs, steps, timers = _best_of(run)
+    return secs, N_BATCHES * BATCH, steps, timers, ctx
 
 
 def bench_extract_default(structure):
@@ -154,10 +204,12 @@ def bench_extract_default(structure):
     ctx = build_context(structure, 0, cfg)
 
     def run():
-        return extract_row_alg2(ctx, cfg)
+        timers = StageTimers()
+        row, stats = extract_row_alg2(ctx, cfg, timers=timers)
+        return stats.total_steps, timers
 
-    secs, (row, stats) = _time(run)
-    return secs, stats.walks, stats.total_steps
+    secs, steps, timers = _best_of(run)
+    return secs, N_BATCHES * BATCH, steps, timers, ctx
 
 
 def _git_rev() -> str:
@@ -207,45 +259,99 @@ def _load_trajectory(path: str, case: int) -> dict:
     return header
 
 
+def _record(results, name, secs, walks, steps, timers, ctx):
+    results[name] = {
+        "seconds": round(secs, 6),
+        "walks": walks,
+        "steps": steps,
+        "walks_per_sec": round(walks / secs, 1),
+        "steps_per_sec": round(steps / secs, 1),
+        "stages": _stage_dict(timers),
+        "far_field_rate": _far_field_rate(ctx),
+    }
+    rate = results[name]["far_field_rate"]
+    print(
+        f"{name:24s} {secs * 1e3:9.1f} ms   "
+        f"{results[name]['walks_per_sec']:>10.0f} walks/s   "
+        f"{results[name]['steps_per_sec']:>11.0f} steps/s   "
+        f"ff_rate={'-' if rate is None else rate}"
+    )
+
+
+def _warn_on_regression(runs: list[dict]) -> None:
+    """GitHub ``::warning::`` when ``engine_pipelined`` steps/sec dropped
+    >20% against the previous trajectory entry (warn-only; CI timing is
+    noisy and absolute numbers are not comparable across runners)."""
+    if len(runs) < 2:
+        print("no previous trajectory entry; skipping regression check")
+        return
+    prev = runs[-2].get("results", {}).get("engine_pipelined", {})
+    curr = runs[-1].get("results", {}).get("engine_pipelined", {})
+    prev_rate, curr_rate = prev.get("steps_per_sec"), curr.get("steps_per_sec")
+    if not prev_rate or not curr_rate:
+        return
+    change = curr_rate / prev_rate - 1.0
+    print(
+        f"engine_pipelined steps/sec: {curr_rate:.0f} vs previous "
+        f"{prev_rate:.0f} ({change:+.1%})"
+    )
+    if change < -REGRESSION_WARN:
+        print(
+            f"::warning title=Engine perf regression::engine_pipelined "
+            f"steps/sec dropped {-change:.1%} vs the previous trajectory "
+            f"entry ({curr_rate:.0f} vs {prev_rate:.0f}); timing on shared "
+            f"runners is noisy, so this is informational only"
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_engine.json")
     parser.add_argument("--case", type=int, default=1)
+    parser.add_argument(
+        "--warn-regression",
+        action="store_true",
+        help="print a GitHub ::warning:: annotation when engine_pipelined "
+        "steps/sec regressed >20%% vs the previous trajectory entry",
+    )
     args = parser.parse_args()
 
     structure = build_case(args.case, "fast")
     ctx = build_context(structure, 0, FRWConfig.frw_r(seed=SEED))
+    ctx_nofast = build_context(
+        structure, 0, FRWConfig.frw_r(seed=SEED, far_field=False)
+    )
+    open_structure = build_open_field()
+    open_cfg = dict(seed=SEED, h_cap_fraction=OPEN_H_CAP_FRACTION)
+    ctx_open = build_context(
+        open_structure, 0, FRWConfig.frw_r(**open_cfg)
+    )
+    ctx_open_nofast = build_context(
+        open_structure, 0, FRWConfig.frw_r(**open_cfg, far_field=False)
+    )
 
     results = {}
-    stage_breakdown = None
-    for name, fn, arg in [
-        ("engine_plain", bench_engine_plain, ctx),
-        ("engine_pipelined", bench_engine_pipelined, ctx),
-        ("extract_seed_style", bench_extract_seed_style, structure),
-        ("extract_default", bench_extract_default, structure),
+    secs, walks, steps, timers = bench_engine_plain(ctx)
+    _record(results, "engine_plain", secs, walks, steps, timers, ctx)
+    secs, walks, steps, timers = bench_engine_pipelined(ctx)
+    _record(results, "engine_pipelined", secs, walks, steps, timers, ctx)
+    secs, walks, steps, timers = bench_engine_pipelined(ctx_nofast)
+    _record(
+        results, "engine_pipelined_nofast", secs, walks, steps, timers,
+        ctx_nofast,
+    )
+    for name, c in [
+        ("open_field", ctx_open),
+        ("open_field_nofast", ctx_open_nofast),
     ]:
-        out = fn(arg)
-        if name == "engine_pipelined":
-            secs, walks, steps, timers = out
-            stage_breakdown = {
-                stage: round(value, 6) if isinstance(value, float) else value
-                for stage, value in timers.as_dict().items()
-            }
-        else:
-            secs, walks, steps = out
-        results[name] = {
-            "seconds": round(secs, 6),
-            "walks": walks,
-            "steps": steps,
-            "walks_per_sec": round(walks / secs, 1),
-            "steps_per_sec": round(steps / secs, 1),
-        }
-        print(
-            f"{name:20s} {secs * 1e3:9.1f} ms   "
-            f"{results[name]['walks_per_sec']:>10.0f} walks/s   "
-            f"{results[name]['steps_per_sec']:>11.0f} steps/s"
+        secs, walks, steps, timers = bench_engine_pipelined(
+            c, n_walks=OPEN_WALKS, width=OPEN_WIDTH
         )
-    print("engine_pipelined stage breakdown (s):", stage_breakdown)
+        _record(results, name, secs, walks, steps, timers, c)
+    secs, walks, steps, timers, c = bench_extract_seed_style(structure)
+    _record(results, "extract_seed_style", secs, walks, steps, timers, c)
+    secs, walks, steps, timers, c = bench_extract_default(structure)
+    _record(results, "extract_default", secs, walks, steps, timers, c)
 
     trajectory = _load_trajectory(args.output, args.case)
     entry = {
@@ -257,7 +363,13 @@ def main() -> None:
             "python": platform.python_version(),
         },
         "results": results,
-        "engine_pipelined_stages": stage_breakdown,
+        # Kept for trajectory continuity with pre-fast-path entries.
+        "engine_pipelined_stages": results["engine_pipelined"]["stages"],
+        "open_field_case": {
+            "n_walks": OPEN_WALKS,
+            "width": OPEN_WIDTH,
+            "h_cap_fraction": OPEN_H_CAP_FRACTION,
+        },
         "speedups": {
             "pipelined_vs_plain_engine": round(
                 results["engine_pipelined"]["walks_per_sec"]
@@ -267,6 +379,16 @@ def main() -> None:
             "default_vs_seed_extract": round(
                 results["extract_default"]["walks_per_sec"]
                 / results["extract_seed_style"]["walks_per_sec"],
+                3,
+            ),
+            "fast_path_on_case": round(
+                results["engine_pipelined"]["steps_per_sec"]
+                / results["engine_pipelined_nofast"]["steps_per_sec"],
+                3,
+            ),
+            "fast_path_open_field": round(
+                results["open_field"]["steps_per_sec"]
+                / results["open_field_nofast"]["steps_per_sec"],
                 3,
             ),
         },
@@ -279,11 +401,20 @@ def main() -> None:
             entry["speedups"]["pipelined_vs_first_run"] = round(
                 results["engine_pipelined"]["steps_per_sec"] / base_rate, 3
             )
+        prev = runs[-1].get("results", {}).get("engine_pipelined", {})
+        prev_rate = prev.get("steps_per_sec")
+        if prev_rate:
+            entry["speedups"]["open_field_pipelined_vs_prev_entry"] = round(
+                results["open_field"]["steps_per_sec"] / prev_rate, 3
+            )
     runs.append(entry)
     with open(args.output, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    print("speedups:", entry["speedups"])
     print(f"appended run {len(runs)} to {args.output}")
+    if args.warn_regression:
+        _warn_on_regression(runs)
 
 
 if __name__ == "__main__":

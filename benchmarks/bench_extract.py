@@ -10,13 +10,19 @@ a multi-conductor bus case in three schedules at the *same* worker count:
   in-flight quota per unconverged master.
 * ``interleaved_variance`` — the cross-master scheduler with
   variance-guided allocation (quota reweighted toward the
-  least-converged masters each checkpoint round).
+  least-converged masters when the share vector moves past the
+  ``allocation_hysteresis`` threshold).
+
+Both allocation policies are recorded on every run so the trajectory
+tracks the gap between them (the default is ``even``; variance-guided
+allocation must earn its keep here to be worth switching back on).
 
 All three produce bit-identical capacitance rows (asserted here on every
 run); the schedules trade wall time and speculative overshoot only.  The
 entry also records the per-master schedule telemetry (dispatched /
-discarded batches) and the shared-asset cache counters — the structure's
-spatial index must be built exactly once per extraction.
+discarded batches), the shared-asset cache counters — the structure's
+spatial index must be built exactly once per extraction — and the spatial
+index's query telemetry (far-field hit rate, candidates pruned).
 
 The output file is a *trajectory*: every invocation appends a timestamped
 entry (git revision, host info) to the ``runs`` list, so the perf history
@@ -97,6 +103,7 @@ def run_schedule(structure: Structure, name: str, cfg: FRWConfig, repeats: int =
         "dispatched_batches": sched["dispatched_batches"],
         "discarded_batches": sched["discarded_batches"],
         "asset_cache": solver_stats,
+        "query_stats": sched.get("query_stats"),
     }
     print(
         f"{name:22s} {best * 1e3:9.1f} ms   "

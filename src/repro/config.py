@@ -121,9 +121,36 @@ class FRWConfig:
         Cross-master in-flight quota policy: ``"even"`` gives every
         unconverged master the same speculative batch depth; ``"variance"``
         reweights the quota toward the least-converged masters (relative
-        half-width vs. tolerance).  Allocation decides only *which*
-        batches are in flight, never their contents, so rows are
-        bit-identical under either policy.
+        half-width vs. tolerance), with hysteresis — quotas are recomputed
+        only when the weight vector moves by more than
+        ``allocation_hysteresis`` or the live set changes.  Allocation
+        decides only *which* batches are in flight, never their contents,
+        so rows are bit-identical under either policy.  Default ``"even"``:
+        on balanced master sets the variance feedback loop tends to thrash
+        quotas without converging faster (see BENCH_extract.json); prefer
+        ``"variance"`` only for strongly heterogeneous masters.
+    allocation_hysteresis:
+        Relative L-inf movement of the normalised variance weight vector
+        required before quotas are recomputed (``"variance"`` policy only;
+        0 reweights every round).
+    far_field:
+        Spatial-index tier-1 fast path: precompute per-grid-cell distance
+        bounds so points in cells provably farther than the cap from every
+        conductor answer ``(h_cap, -1)`` without touching candidate lists,
+        and prune candidates that can never win.  Results are
+        bit-identical with the flag off; disable only to A/B the cost of
+        the bounds arrays on dense structures with no open space.
+    sort_queries:
+        Spatial-index tier-2 fast path: process near-field points in
+        cell-id order so candidate rows are gathered once per unique cell
+        (cache-friendly, deduplicated); results are scattered back in
+        point order and stay bit-identical.
+    bounds_resolution:
+        Grid cells per ``h_cap`` along each axis (1-8, default 2: at 1 the
+        corner-to-corner slack of cap-sized cells leaves few cells provably
+        far on tight enclosures).  Finer grids give
+        tighter far-field bounds and shorter candidate lists at the cost
+        of bounds memory (~17 bytes/cell) and CSR size.
     max_inflight_batches:
         Total cross-master in-flight batch cap (0 = auto: enough to cover
         the executor width with a margin).  Bounds the walk work thrown
@@ -161,9 +188,13 @@ class FRWConfig:
     pipeline: bool = True
     pipeline_lookahead: int = 1
     interleave_masters: bool = True
-    allocation: str = "variance"
+    allocation: str = "even"
+    allocation_hysteresis: float = 0.25
     max_inflight_batches: int = 0
     register_wave: int = 0
+    far_field: bool = True
+    sort_queries: bool = True
+    bounds_resolution: int = 2
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -227,6 +258,16 @@ class FRWConfig:
         if self.register_wave < 0:
             raise ConfigError(
                 f"register_wave must be >= 0, got {self.register_wave}"
+            )
+        if not (0.0 <= self.allocation_hysteresis <= 1.0):
+            raise ConfigError(
+                f"allocation_hysteresis must be in [0, 1], got "
+                f"{self.allocation_hysteresis}"
+            )
+        if not (1 <= self.bounds_resolution <= 8):
+            raise ConfigError(
+                f"bounds_resolution must be in [1, 8], got "
+                f"{self.bounds_resolution}"
             )
 
     # ------------------------------------------------------------------

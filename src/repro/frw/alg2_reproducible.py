@@ -171,6 +171,7 @@ def extract_row_alg2(
     ctx: ExtractionContext,
     config: FRWConfig | None = None,
     executor: PersistentExecutor | None = None,
+    timers=None,
 ) -> tuple[CapacitanceRow, RunStats]:
     """Extract one capacitance-matrix row with the reproducible scheme.
 
@@ -181,11 +182,14 @@ def extract_row_alg2(
     bit-identical across all of them — the scheduling knobs trade wall time
     only.  Pass ``executor`` (e.g. from :class:`~repro.frw.solver.FRWSolver`)
     to reuse one pool across masters; otherwise a pool is created and closed
-    here when the config calls for one.
+    here when the config calls for one.  ``timers`` (an optional
+    :class:`~repro.frw.engine.StageTimers`) collects the engine's per-stage
+    breakdown where the runner supports it (see
+    :func:`~repro.frw.parallel.make_batch_runner`).
     """
     cfg = config if config is not None else ctx.config
     progress = RowProgress(ctx, cfg)
-    runner, owned = make_batch_runner(ctx, cfg, executor)
+    runner, owned = make_batch_runner(ctx, cfg, executor, timers=timers)
 
     try:
         batch_index = 0

@@ -69,24 +69,59 @@ class SharedAssets:
 
     def __init__(self, structure: Structure):
         self.structure = structure
-        self._indexes: dict[float, BruteForceIndex | GridIndex] = {}
+        self._indexes: dict[tuple, BruteForceIndex | GridIndex] = {}
         self._tables: dict[int, CubeTransitionTable] = {}
         self.index_builds = 0
         self.index_hits = 0
         self.table_builds = 0
         self.table_hits = 0
 
-    def index(self, h_cap: float) -> BruteForceIndex | GridIndex:
-        """The structure's spatial index for ``h_cap`` (built once)."""
-        key = float(h_cap)
+    def index(
+        self,
+        h_cap: float,
+        far_field: bool = True,
+        sort_queries: bool = True,
+        bounds_resolution: int = 2,
+    ) -> BruteForceIndex | GridIndex:
+        """The structure's spatial index for ``h_cap`` and the fast-path
+        knobs (built once per distinct key).  Sharing one index — its CSR
+        lists *and* its tier-1 bounds arrays — means the far-field
+        precompute happens once per extraction, never per master, and fork
+        workers inherit the built arrays instead of rebuilding them."""
+        key = (
+            float(h_cap),
+            bool(far_field),
+            bool(sort_queries),
+            int(bounds_resolution),
+        )
         index = self._indexes.get(key)
         if index is None:
-            index = build_index(self.structure, h_cap=key)
+            index = build_index(
+                self.structure,
+                h_cap=key[0],
+                far_field=far_field,
+                sort_queries=sort_queries,
+                bounds_resolution=bounds_resolution,
+            )
             self._indexes[key] = index
             self.index_builds += 1
         else:
             self.index_hits += 1
         return index
+
+    def query_stats(self) -> dict | None:
+        """Aggregated :class:`~repro.geometry.QueryStats` over the cached
+        grid indexes, or ``None`` when only brute-force indexes exist."""
+        from ..geometry import QueryStats
+
+        merged = QueryStats()
+        seen = False
+        for index in self._indexes.values():
+            stats = getattr(index, "stats", None)
+            if stats is not None:
+                merged.merge(stats)
+                seen = True
+        return merged.as_dict() if seen else None
 
     def table(self, resolution: int) -> CubeTransitionTable:
         """The cube transition table at ``resolution`` (built once)."""
@@ -133,9 +168,20 @@ def build_context(
     enc = structure.enclosure
     h_cap = config.h_cap_fraction * min(enc.sizes)
     if assets is not None:
-        index = assets.index(h_cap)
+        index = assets.index(
+            h_cap,
+            far_field=config.far_field,
+            sort_queries=config.sort_queries,
+            bounds_resolution=config.bounds_resolution,
+        )
     else:
-        index = build_index(structure, h_cap=h_cap)
+        index = build_index(
+            structure,
+            h_cap=h_cap,
+            far_field=config.far_field,
+            sort_queries=config.sort_queries,
+            bounds_resolution=config.bounds_resolution,
+        )
     absorb_tol = config.absorption_fraction * surface.delta
     # Fail early only on the degenerate configuration: a *horizontal*
     # Gaussian patch coplanar (within the absorption tolerance) with a

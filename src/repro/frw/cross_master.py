@@ -55,7 +55,7 @@ from .parallel import (
     stream_spec,
     streams_from_spec,
 )
-from .scheduler import allocate_quota, variance_weights
+from .scheduler import allocate_quota, reweight_needed, variance_weights
 
 
 class _MasterRun:
@@ -206,6 +206,11 @@ def extract_rows_interleaved(
             )
 
     activate_wave()
+    # Hysteresis state of the variance policy: the weight vector and quota
+    # split of the last recomputation, plus the live set it applied to.
+    last_weights: np.ndarray | None = None
+    last_quotas: np.ndarray | None = None
+    last_live: tuple[int, ...] = ()
     while True:
         live = [st for st in active if not st.done]
         if not live:
@@ -230,9 +235,17 @@ def extract_rows_interleaved(
                     ),
                     config.tolerance,
                 )
+                live_ids = tuple(st.master for st in live)
+                if live_ids != last_live or reweight_needed(
+                    weights, last_weights, config.allocation_hysteresis
+                ):
+                    last_quotas = allocate_quota(weights, total, min_share=1)
+                    last_weights = weights
+                    last_live = live_ids
+                quotas = last_quotas
             else:
                 weights = np.ones(len(live))
-            quotas = allocate_quota(weights, total, min_share=1)
+                quotas = allocate_quota(weights, total, min_share=1)
         # Cross-master concurrency already fills the pool, so a batch
         # only splits when live masters are fewer than workers.
         max_chunks = -(-workers // len(live))

@@ -91,13 +91,16 @@ class WalkResults:
 class StageTimers:
     """Accumulated wall time of the engine's per-step stages.
 
-    ``rng`` — counter-stream draws; ``index`` — nearest-conductor and
-    enclosure distance queries; ``sample`` — surface/cube-kernel sampling
-    and the position update; ``bookkeeping`` — masks, retiring, slot
-    compaction, launches and result banking.
+    ``rng`` — counter-stream draws; ``index_fast`` — the spatial index's
+    tier-1 far-field split (cell lookup + bounds mask + capped scatter);
+    ``index`` — the near-field candidate gather plus enclosure distance
+    queries; ``sample`` — surface/cube-kernel sampling and the position
+    update; ``bookkeeping`` — masks, retiring, slot compaction, launches
+    and result banking.
     """
 
     rng: float = 0.0
+    index_fast: float = 0.0
     index: float = 0.0
     sample: float = 0.0
     bookkeeping: float = 0.0
@@ -113,6 +116,7 @@ class StageTimers:
         """Fold another timer's stages into this one (cross-worker or
         cross-master aggregation; stage seconds and step counts add)."""
         self.rng += other.rng
+        self.index_fast += other.index_fast
         self.index += other.index
         self.sample += other.sample
         self.bookkeeping += other.bookkeeping
@@ -121,12 +125,19 @@ class StageTimers:
     @property
     def total(self) -> float:
         """Sum over all stages."""
-        return self.rng + self.index + self.sample + self.bookkeeping
+        return (
+            self.rng
+            + self.index_fast
+            + self.index
+            + self.sample
+            + self.bookkeeping
+        )
 
     def as_dict(self) -> dict:
         """Stage seconds plus the step count (for steps/sec rates)."""
         return {
             "rng": self.rng,
+            "index_fast": self.index_fast,
             "index": self.index,
             "sample": self.sample,
             "bookkeeping": self.bookkeeping,
@@ -159,6 +170,8 @@ class ArenaWorkspace:
         "u4",
         "h",
         "h2",
+        "dist",
+        "cond",
         "b0",
         "b1",
         "b2",
@@ -190,6 +203,9 @@ class ArenaWorkspace:
         self.u4 = np.empty((capacity, 4), dtype=np.float64)
         self.h = np.empty(capacity, dtype=np.float64)
         self.h2 = np.empty(capacity, dtype=np.float64)
+        # Query output buffers for the index's zero-copy ``query_into``.
+        self.dist = np.empty(capacity, dtype=np.float64)
+        self.cond = np.empty(capacity, dtype=np.int64)
         self.b0 = np.empty(capacity, dtype=bool)
         self.b1 = np.empty(capacity, dtype=bool)
         self.b2 = np.empty(capacity, dtype=bool)
@@ -277,6 +293,9 @@ class WalkPipeline:
         enc = ctx.structure.enclosure
         self._enc_lo = np.asarray(enc.lo, dtype=np.float64)
         self._enc_hi = np.asarray(enc.hi, dtype=np.float64)
+        # Zero-copy far-field-aware query entry point, when the index has
+        # one (GridIndex); falls back to the allocating ``query``.
+        self._query_into = getattr(ctx.index, "query_into", None)
 
         self._next_feed = 0
         self._next_emit = 0
@@ -507,7 +526,18 @@ class WalkPipeline:
             t0 = tm.lap("bookkeeping", t0)
 
         pos = self._pos[:n]
-        dist_c, cond = self.ctx.index.query(pos)
+        if self._query_into is not None:
+            # Far-field fast path: the index fills the workspace buffers in
+            # place, charging its tier-1 split to ``index_fast`` and the
+            # near-field gather to ``index`` itself.
+            dist_c = ws.dist[:n]
+            cond = ws.cond[:n]
+            if tm is not None:
+                t0 = self._query_into(pos, dist_c, cond, timers=tm, t0=t0)
+            else:
+                self._query_into(pos, dist_c, cond)
+        else:
+            dist_c, cond = self.ctx.index.query(pos)
         # Enclosure distance inline (cached wall arrays, reusable buffers).
         np.minimum(
             (pos - self._enc_lo[None, :]).min(axis=1),

@@ -45,7 +45,7 @@ import numpy as np
 from ..config import EXECUTOR_KINDS, FRWConfig
 from ..errors import ConfigError
 from .context import ExtractionContext
-from .engine import WalkPipeline, WalkResults, run_walks
+from .engine import StageTimers, WalkPipeline, WalkResults, run_walks
 
 #: A stream spec is ``(rng_kind, seed, stream)`` — enough to rebuild a
 #: per-walk stream provider anywhere (in a worker thread or a forked
@@ -339,7 +339,13 @@ class SerialBatchRunner:
     scratch are allocated once and reused for the whole run.
     """
 
-    def __init__(self, ctx: ExtractionContext, streams, batch_size: int):
+    def __init__(
+        self,
+        ctx: ExtractionContext,
+        streams,
+        batch_size: int,
+        timers: StageTimers | None = None,
+    ):
         self.ctx = ctx
         self.streams = streams
         self.batch_size = int(batch_size)
@@ -349,6 +355,7 @@ class SerialBatchRunner:
             _batch_feed(self.batch_size),
             width=self.batch_size,
             lookahead=0,
+            timers=timers,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -362,7 +369,12 @@ class PipelinedBatchRunner:
     """A single refill pipeline spanning all batches (serial hardware)."""
 
     def __init__(
-        self, ctx: ExtractionContext, streams, batch_size: int, lookahead: int = 1
+        self,
+        ctx: ExtractionContext,
+        streams,
+        batch_size: int,
+        lookahead: int = 1,
+        timers: StageTimers | None = None,
     ):
         self._pipe = WalkPipeline(
             ctx,
@@ -370,6 +382,7 @@ class PipelinedBatchRunner:
             _batch_feed(batch_size),
             width=batch_size,
             lookahead=lookahead,
+            timers=timers,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -398,6 +411,7 @@ class ThreadedBatchRunner:
         executor: PersistentExecutor,
         pipeline: bool = True,
         lookahead: int = 1,
+        timers: StageTimers | None = None,
     ):
         self.ctx = ctx
         self.spec = spec
@@ -405,6 +419,14 @@ class ThreadedBatchRunner:
         self.executor = executor
         self._bounds = _chunk_bounds(
             self.batch_size, executor.n_workers, executor.chunk_size
+        )
+        # Each slot gets a private StageTimers (no racy float accumulation
+        # across pool threads); they merge into the shared one at close().
+        self._timers = timers
+        self._slot_timers = (
+            [StageTimers() for _ in self._bounds]
+            if timers is not None
+            else [None] * len(self._bounds)
         )
         self._pipes: list[WalkPipeline] | None = None
         if pipeline:
@@ -415,8 +437,9 @@ class ThreadedBatchRunner:
                     _batch_feed(self.batch_size, a, b),
                     width=b - a,
                     lookahead=lookahead,
+                    timers=tm,
                 )
-                for a, b in self._bounds
+                for (a, b), tm in zip(self._bounds, self._slot_timers)
             ]
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -427,15 +450,24 @@ class ThreadedBatchRunner:
         else:
             futures = [
                 self.executor.submit(
-                    run_walks, self.ctx, streams_from_spec(self.spec), uids[a:b]
+                    run_walks,
+                    self.ctx,
+                    streams_from_spec(self.spec),
+                    uids[a:b],
+                    None,  # trace
+                    tm,
                 )
-                for a, b in self._bounds
+                for (a, b), tm in zip(self._bounds, self._slot_timers)
             ]
         parts = [f.result() for f in futures]
         return _reassemble(uids, parts)
 
     def close(self) -> None:
         self._pipes = None  # drop in-flight walk state; the pool is shared
+        if self._timers is not None:
+            for tm in self._slot_timers:
+                self._timers.merge(tm)
+            self._slot_timers = [StageTimers() for _ in self._bounds]
 
 
 class ProcessBatchRunner:
@@ -465,6 +497,7 @@ def make_batch_runner(
     ctx: ExtractionContext,
     config: FRWConfig,
     executor: PersistentExecutor | None = None,
+    timers: StageTimers | None = None,
 ):
     """Pick the batch runner for a config.
 
@@ -472,6 +505,13 @@ def make_batch_runner(
     :class:`PersistentExecutor` created here (caller must close it), or
     ``None`` when the executor was supplied (e.g. by ``FRWSolver``, which
     keeps one pool alive across masters) or not needed.
+
+    ``timers`` (optional) accumulates the engine's per-stage wall time:
+    serial/pipelined runners charge it directly; the threaded runner gives
+    each slot pipeline a private timer and merges them at ``close()``
+    (stage seconds then sum over workers, i.e. CPU time not wall time).
+    The process runner cannot report stages — the engine loops run in
+    forked workers — and leaves ``timers`` untouched.
     """
     backend = config.executor
     workers = (
@@ -486,10 +526,16 @@ def make_batch_runner(
         streams = streams_from_spec(spec)
         if config.pipeline:
             runner = PipelinedBatchRunner(
-                ctx, streams, config.batch_size, config.pipeline_lookahead
+                ctx,
+                streams,
+                config.batch_size,
+                config.pipeline_lookahead,
+                timers=timers,
             )
         else:
-            runner = SerialBatchRunner(ctx, streams, config.batch_size)
+            runner = SerialBatchRunner(
+                ctx, streams, config.batch_size, timers=timers
+            )
     elif backend == "thread":
         runner = ThreadedBatchRunner(
             ctx,
@@ -498,6 +544,7 @@ def make_batch_runner(
             executor,
             pipeline=config.pipeline,
             lookahead=config.pipeline_lookahead,
+            timers=timers,
         )
     else:
         runner = ProcessBatchRunner(ctx, spec, config.batch_size, executor)

@@ -120,6 +120,42 @@ def variance_weights(
     return weights
 
 
+def reweight_needed(
+    weights: np.ndarray,
+    previous: np.ndarray | None,
+    threshold: float,
+) -> bool:
+    """Whether the quota split should be recomputed for ``weights``.
+
+    Hysteresis for the variance policy: BENCH_extract.json showed the
+    per-round feedback loop *thrashing* quotas on balanced master sets —
+    half-width estimates wobble batch to batch, so quotas kept churning
+    (and in-flight work kept being re-targeted) without converging any
+    faster.  Quotas are now recomputed only when the *normalised* weight
+    vector moves by more than ``threshold`` in L-inf — i.e. some master's
+    share of the total demand changed by that fraction — which ignores the
+    uniform decay of all weights as every master converges.  Deterministic:
+    a pure function of the two weight vectors.
+
+    ``previous is None`` (first round) or a shape change (live set changed)
+    always reweights; ``threshold <= 0`` reweights every round.
+    """
+    if previous is None or previous.shape != weights.shape:
+        return True
+    if threshold <= 0.0:
+        return True
+
+    def _norm(w: np.ndarray) -> np.ndarray:
+        s = float(w.sum())
+        if s <= 0.0:
+            return np.full(w.shape[0], 1.0 / max(w.shape[0], 1))
+        return w / s
+
+    return bool(
+        np.abs(_norm(weights) - _norm(previous)).max() > threshold
+    )
+
+
 def allocate_quota(
     weights: np.ndarray, total: int, min_share: int = 1
 ) -> np.ndarray:

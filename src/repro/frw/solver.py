@@ -305,6 +305,7 @@ class FRWSolver:
                 "interleaved": interleaved,
                 "allocation": self.config.allocation,
                 "asset_cache": self.assets.stats(),
+                "query_stats": self.assets.query_stats(),
                 "dispatched_batches": sum(s.dispatched_batches for s in stats),
                 "discarded_batches": sum(s.discarded_batches for s in stats),
             }

@@ -17,7 +17,7 @@ from .io import (
     structure_to_dict,
 )
 from .rect import Rect, subtract_many, subtract_one, total_area, union_area
-from .spatial_index import BruteForceIndex, GridIndex, build_index
+from .spatial_index import BruteForceIndex, GridIndex, QueryStats, build_index
 from .structure import ENCLOSURE_NAME, Structure
 from .surface import (
     GaussianSurface,
@@ -34,6 +34,7 @@ __all__ = [
     "DielectricStack",
     "GaussianSurface",
     "GridIndex",
+    "QueryStats",
     "Rect",
     "Structure",
     "SurfacePatch",

@@ -11,7 +11,11 @@ import pytest
 
 from repro import Box, Conductor, FRWConfig, FRWSolver, Structure
 from repro.frw import build_context, extract_row_alg2
-from repro.frw.scheduler import allocate_quota, variance_weights
+from repro.frw.scheduler import (
+    allocate_quota,
+    reweight_needed,
+    variance_weights,
+)
 
 BASE = dict(
     seed=13,
@@ -93,12 +97,18 @@ def test_schedule_telemetry_and_asset_cache(three_wires):
         result = solver.extract()
     sched = result.matrix.meta["schedule"]
     assert sched["interleaved"] is True
-    assert sched["allocation"] == "variance"
+    assert sched["allocation"] == "even"
     # The structure index and cube table are built once and shared.
     cache = sched["asset_cache"]
     assert cache["index_builds"] == 1
     assert cache["index_hits"] == 2
     assert cache["table_builds"] == 1
+    # The far-field fast path was live: the shared grid index reports its
+    # query telemetry, and the 3-wire case has real open space.
+    qs = sched["query_stats"]
+    assert qs is not None
+    assert qs["far_field_hits"] > 0
+    assert qs["points"] == qs["far_field_hits"] + qs["near_points"]
     # Dispatch counters: every accumulated batch was dispatched, and the
     # discard count accounts for the speculative overshoot.
     accumulated = sum(s.batches for s in result.stats)
@@ -164,3 +174,51 @@ def test_variance_weights_shape():
     assert w[0] == pytest.approx(32.0**2)  # no estimate yet: max weight
     assert w[1] == pytest.approx(25.0)  # 5x over tolerance
     assert w[2] == 0.0  # converged: no speculation
+
+
+def test_reweight_needed_first_round_and_shape_change():
+    w = np.array([1.0, 2.0])
+    assert reweight_needed(w, None, threshold=0.25)
+    assert reweight_needed(w, np.array([1.0, 2.0, 3.0]), threshold=0.25)
+
+
+def test_reweight_needed_ignores_uniform_decay():
+    """All weights shrinking together (every master converging) must not
+    trigger a reweight — the *shares* are unchanged."""
+    prev = np.array([8.0, 4.0, 4.0])
+    assert not reweight_needed(prev / 10.0, prev, threshold=0.05)
+    assert not reweight_needed(prev * 3.0, prev, threshold=0.05)
+
+
+def test_reweight_needed_fires_on_share_shift():
+    prev = np.array([1.0, 1.0])  # shares (0.5, 0.5)
+    moved = np.array([4.0, 1.0])  # shares (0.8, 0.2): moved 0.3 in L-inf
+    assert reweight_needed(moved, prev, threshold=0.25)
+    assert not reweight_needed(moved, prev, threshold=0.35)
+
+
+def test_reweight_needed_zero_threshold_always_fires():
+    w = np.array([1.0, 2.0])
+    assert reweight_needed(w, w.copy(), threshold=0.0)
+
+
+def test_reweight_needed_all_zero_weights_stable():
+    """Converged-everywhere rounds normalise to even shares, not NaN."""
+    zeros = np.zeros(3)
+    assert not reweight_needed(zeros, np.ones(3), threshold=0.25)
+
+
+def test_variance_allocation_hysteresis_bitwise(three_wires, golden_rows):
+    """Hysteresis changes only the schedule, never the rows; disabling it
+    (threshold 0) restores the per-round reweighting and is bitwise too."""
+    for hysteresis in (0.0, 0.25, 1.0):
+        cfg = FRWConfig.frw_r(
+            **BASE,
+            executor="thread",
+            n_workers=4,
+            allocation="variance",
+            allocation_hysteresis=hysteresis,
+        )
+        with FRWSolver(three_wires, cfg) as solver:
+            result = solver.extract()
+        _assert_rows_match(result, golden_rows)
