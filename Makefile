@@ -2,13 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-micro examples experiments experiments-quick clean
+.PHONY: install test lint bench bench-micro examples experiments experiments-quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Determinism & reliability static analysis (see docs/DETERMINISM.md).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tests benchmarks
 
 # Append a fresh entry to both benchmark trajectories (BENCH_engine.json,
 # BENCH_extract.json): engine stage breakdown + far-field hit rates, and

@@ -355,6 +355,8 @@ def main() -> None:
 
     trajectory = _load_trajectory(args.output, args.case)
     entry = {
+        # det: allow(DET002) intentional wall-clock: benchmark trajectory
+        # entries are timestamped metadata, never an input to computation.
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_rev": _git_rev(),
         "host": {

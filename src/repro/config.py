@@ -160,6 +160,16 @@ class FRWConfig:
         registered/shipped) per scheduler wave; 0 = auto.  Large master
         sets are admitted in waves so context registration is lazy but
         batched — one pool restart per wave instead of per master.
+    sanitize:
+        Arm the runtime RNG sanitizer
+        (:func:`repro.lint.sanitizer.forbid_global_rng`) for the duration
+        of ``extract``/``extract_row``: any global ``np.random.*`` or
+        stdlib ``random.*`` call — from this library or a third-party
+        dependency — raises :class:`~repro.errors.DeterminismError`
+        instead of silently breaking bit-identity.  Private seeded
+        generators are unaffected.  Off by default (tiny patch/unpatch
+        cost, and test frameworks like hypothesis legitimately use the
+        global stdlib RNG between extractions).
     """
 
     seed: int = 0
@@ -195,6 +205,7 @@ class FRWConfig:
     far_field: bool = True
     sort_queries: bool = True
     bounds_resolution: int = 2
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -205,6 +216,12 @@ class FRWConfig:
             raise ConfigError(
                 f"summation must be one of {SUMMATION_KINDS}, got {self.summation!r}"
             )
+        if self.seed < 0:
+            # Seeds are folded through splitmix64 as unsigned 64-bit values;
+            # negative Python ints would alias positive seeds ambiguously.
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+        if self.machine_seed < 0:
+            raise ConfigError(f"machine_seed must be >= 0, got {self.machine_seed}")
         if self.n_threads < 1:
             raise ConfigError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.batch_size < 1:
@@ -232,6 +249,29 @@ class FRWConfig:
             raise ConfigError(
                 "first_hop_interface_floor must be in [0, 0.1], got "
                 f"{self.first_hop_interface_floor}"
+            )
+        if not (2 <= self.table_resolution <= 1024):
+            raise ConfigError(
+                f"table_resolution must be in [2, 1024], got "
+                f"{self.table_resolution}"
+            )
+        if not (0.0 < self.offset_fraction < 1.0):
+            # The Gaussian surface must sit strictly between the conductor
+            # and its nearest neighbour; >= 1 would touch or cross it.
+            raise ConfigError(
+                f"offset_fraction must be in (0, 1), got {self.offset_fraction}"
+            )
+        if not (0.0 < self.h_cap_fraction <= 1.0):
+            raise ConfigError(
+                f"h_cap_fraction must be in (0, 1], got {self.h_cap_fraction}"
+            )
+        if self.max_steps < 1:
+            raise ConfigError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.check_every < 1:
+            raise ConfigError(f"check_every must be >= 1, got {self.check_every}")
+        if not (0.0 <= self.scheduler_jitter <= 1.0):
+            raise ConfigError(
+                f"scheduler_jitter must be in [0, 1], got {self.scheduler_jitter}"
             )
         if self.executor not in EXECUTOR_KINDS:
             raise ConfigError(

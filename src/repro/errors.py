@@ -47,3 +47,9 @@ class RegularizationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid solver or experiment configuration."""
+
+
+class DeterminismError(ReproError):
+    """A determinism invariant was violated at runtime — e.g. global RNG
+    state was touched while the sanitizer
+    (:func:`repro.lint.sanitizer.forbid_global_rng`) is active."""

@@ -46,6 +46,8 @@ def environment_info() -> dict:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": numpy.__version__,
+        # det: allow(DET002) intentional wall-clock: record *metadata* saying
+        # when the experiment ran; never feeds seeds or numeric results.
         "timestamp": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
 

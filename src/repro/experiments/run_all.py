@@ -82,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced budgets")
     args = parser.parse_args(argv)
-    t0 = time.time()
+    t0 = time.perf_counter()
     records = run_quick() if args.quick else run_full()
     for record in records:
         path = record.save()
@@ -94,7 +94,7 @@ def main(argv: list[str] | None = None) -> int:
     from .report import write_experiments_md
 
     report_path = write_experiments_md()
-    print(f"\nall experiments done in {time.time() - t0:.0f}s; "
+    print(f"\nall experiments done in {time.perf_counter() - t0:.0f}s; "
           f"records in {RESULTS_DIR}/, report in {report_path}")
     return 0
 

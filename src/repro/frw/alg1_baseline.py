@@ -71,6 +71,9 @@ def extract_row_alg1(
             durations = jittered_durations(
                 results.steps, rng_machine, cfg.scheduler_jitter
             )
+            # det: allow(DET005) simulated-clock bookkeeping, not a sample
+            # statistic: order is fixed (sequential per thread) and the value
+            # only decides the merge permutation Alg. 1 is *meant* to expose.
             elapsed += float(durations.sum())
             stats.truncated += results.truncated
             seq += cfg.check_every

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import FRWConfig
-from ..rng import MTWalkStreams, WalkStreams, splitmix64
+from ..rng import MTWalkStreams, WalkStreams, seeded_generator, splitmix64
 from .context import ExtractionContext, build_context
 from .estimator import CapacitanceRow, RowAccumulator
 from .parallel import PersistentExecutor, make_batch_runner
@@ -84,7 +84,7 @@ def make_streams(config: FRWConfig, master: int):
 
 def machine_rng(config: FRWConfig, master: int) -> np.random.Generator:
     """The simulated machine's timing-noise RNG (never affects samples)."""
-    return np.random.default_rng(
+    return seeded_generator(
         splitmix64(config.machine_seed * 0x10001 + master + 1)
     )
 

@@ -116,7 +116,7 @@ class SharedAssets:
 
         merged = QueryStats()
         seen = False
-        for index in self._indexes.values():
+        for _key, index in sorted(self._indexes.items()):
             stats = getattr(index, "stats", None)
             if stats is not None:
                 merged.merge(stats)

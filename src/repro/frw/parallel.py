@@ -36,6 +36,7 @@ execution allocates no walk-state arrays anywhere.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from concurrent.futures import ThreadPoolExecutor
@@ -99,6 +100,8 @@ def _reassemble(uids: np.ndarray, parts: list[WalkResults]) -> WalkResults:
 # them in _FORK_REGISTRY immediately before forking the pool, and workers
 # inherit that memory.  Per-batch messages then carry only (key, uids).
 # ----------------------------------------------------------------------
+_LOG = logging.getLogger(__name__)
+
 _FORK_REGISTRY: dict = {}
 _WORKER_STREAMS: dict = {}
 
@@ -108,6 +111,9 @@ def _process_chunk(key: int, uids: np.ndarray) -> WalkResults:
     streams = _WORKER_STREAMS.get(key)
     if streams is None:
         streams = streams_from_spec(spec)
+        # det: allow(DET006) per-process memo of this worker's own stream
+        # family; streams are counter-based (stateless per uid), so the cache
+        # only avoids re-deriving keys and cannot affect sample values.
         _WORKER_STREAMS[key] = streams
     return run_walks(ctx, streams, uids)
 
@@ -311,8 +317,11 @@ class PersistentExecutor:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError, ValueError) as exc:
+            # Pool teardown can race interpreter shutdown (half-collected
+            # module globals, dead worker pipes).  Those failures are
+            # expected here and only here; anything else should propagate.
+            _LOG.debug("PersistentExecutor.__del__: close() failed: %r", exc)
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,7 @@ to the serial per-master loop (see :mod:`repro.frw.cross_master`).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -39,6 +40,7 @@ from ..analysis.capmatrix import CapacitanceMatrix
 from ..config import FRWConfig
 from ..errors import ConfigError
 from ..geometry import Structure
+from ..lint.sanitizer import maybe_forbid_global_rng
 from ..reliability import PropertyReport, check_properties, regularize
 from .alg1_baseline import extract_row_alg1
 from .alg2_reproducible import RunStats, extract_row_alg2
@@ -95,8 +97,8 @@ class ExtractionResult:
                     f"modeled_runtime(n_threads={n_threads}) but the "
                     f"schedule was collected at DOP(s) {collected}"
                 )
-        total_span = sum(float(s.thread_work.max()) for s in self.stats)
-        total_work = sum(float(s.thread_work.sum()) for s in self.stats)
+        total_span = math.fsum(float(s.thread_work.max()) for s in self.stats)
+        total_work = math.fsum(float(s.thread_work.sum()) for s in self.stats)
         if total_work == 0.0:
             return 0.0
         seconds_per_unit = self.wall_time / total_work
@@ -210,11 +212,19 @@ class FRWSolver:
         self.close()
 
     def extract_row(self, master: int) -> tuple[CapacitanceRow, RunStats]:
-        """Extract a single row of the capacitance matrix."""
-        ctx = self.context(master)
-        if self.config.variant == "alg1":
-            return extract_row_alg1(ctx, self.config)
-        return extract_row_alg2(ctx, self.config, executor=self.walk_executor())
+        """Extract a single row of the capacitance matrix.
+
+        With ``config.sanitize`` set, the runtime RNG sanitizer is armed
+        for the duration of the call: any global-RNG use anywhere in the
+        process raises :class:`~repro.errors.DeterminismError`.
+        """
+        with maybe_forbid_global_rng(self.config.sanitize):
+            ctx = self.context(master)
+            if self.config.variant == "alg1":
+                return extract_row_alg1(ctx, self.config)
+            return extract_row_alg2(
+                ctx, self.config, executor=self.walk_executor()
+            )
 
     def _extract_serial_masters(
         self,
@@ -286,18 +296,19 @@ class FRWSolver:
             and self.config.variant != "alg1"
         )
         t0 = time.perf_counter()
-        if interleaved:
-            rows, stats = extract_rows_interleaved(
-                masters,
-                self.config,
-                self.context,
-                executor=executor,
-                thread_overrides=thread_overrides,
-            )
-        else:
-            rows, stats = self._extract_serial_masters(
-                masters, executor, thread_overrides
-            )
+        with maybe_forbid_global_rng(self.config.sanitize):
+            if interleaved:
+                rows, stats = extract_rows_interleaved(
+                    masters,
+                    self.config,
+                    self.context,
+                    executor=executor,
+                    thread_overrides=thread_overrides,
+                )
+            else:
+                rows, stats = self._extract_serial_masters(
+                    masters, executor, thread_overrides
+                )
         wall = time.perf_counter() - t0
 
         meta = {

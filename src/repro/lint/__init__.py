@@ -1,0 +1,59 @@
+"""det-lint — determinism & reliability static analysis for this repo.
+
+The entire value of the reproducible scheme (Alg. 2) is that results are
+bit-identical at any degree of parallelism.  That guarantee is an *invariant
+of the whole codebase*, not of one module: a single ``np.random.*`` global
+call, one unordered ``set`` iteration feeding a float accumulator, or one
+uncompensated ``+=`` reduction in a hot loop silently destroys it while
+looking like statistical noise.  ``repro.lint`` encodes those invariants as
+machine-checked rules:
+
+========  ==============================================================
+rule      invariant
+========  ==============================================================
+DET001    no global-RNG use outside ``repro.rng`` / ``repro.experiments``
+DET002    no wall-clock- or entropy-derived seeds (``time.time``,
+          ``os.urandom``, argless ``default_rng()``)
+DET003    no iteration over ``set``/``dict`` views feeding an accumulator
+DET004    no bare/broad ``except`` in ``repro.frw`` / ``repro.numerics``
+DET005    no raw ``+=`` / ``sum()`` float accumulation in loops where the
+          Kahan primitives of ``repro.numerics.summation`` are required
+DET006    no mutation of closed-over/shared state inside callables
+          submitted to executors
+DET007    every ``FRWConfig`` field is validated in ``config.py`` and
+          documented in ``docs/PERFORMANCE.md`` or ``README.md``
+========  ==============================================================
+
+Violations are suppressed per line with a ``det: allow(DET001) reason``
+comment; a suppression without a reason is itself an error (DET000).  Run
+with ``python -m repro.lint [paths]`` (see :mod:`repro.lint.cli`); the
+paired *runtime* guard is :func:`repro.lint.sanitizer.forbid_global_rng`,
+wired into ``FRWSolver.extract`` via ``FRWConfig.sanitize``.
+"""
+
+from .core import (
+    Finding,
+    LintReport,
+    SourceFile,
+    Suppression,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    module_name_for,
+)
+from .rules import ALL_RULES, Rule
+from .sanitizer import forbid_global_rng
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SourceFile",
+    "Suppression",
+    "forbid_global_rng",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "module_name_for",
+]

@@ -1,0 +1,137 @@
+"""``python -m repro.lint`` — the det-lint command line.
+
+Usage::
+
+    python -m repro.lint [paths ...] [--format {text,json,github}]
+                         [--counts-json PATH] [--show-suppressed]
+                         [--list-rules]
+
+* default paths: ``src tests`` (resolved from the current directory);
+* ``--format=github`` emits ``::error``/``::notice`` workflow annotations;
+* ``--counts-json`` writes the per-rule hit counts as a JSON artifact so
+  lint debt is trackable per PR;
+* exit code 0 iff no unsuppressed findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import Finding, LintReport, lint_paths
+from .rules import ALL_RULES
+
+
+def _format_text(report: LintReport, show_suppressed: bool) -> list[str]:
+    out = []
+    for f in report.findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        mark = " (suppressed: %s)" % f.justification if f.suppressed else ""
+        out.append(f"{f.path}:{f.line}:{f.col + 1}: {f.rule} {f.message}{mark}")
+    errors = report.errors
+    out.append(
+        f"det-lint: {report.files} files, {len(errors)} error(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return out
+
+
+def _format_github(report: LintReport, show_suppressed: bool) -> list[str]:
+    def annotation(level: str, f: Finding, extra: str = "") -> str:
+        # GitHub annotation properties use a mini-format where commas and
+        # newlines must be escaped in the message payload.
+        message = (f.message + extra).replace("\n", "%0A").replace(",", "%2C")
+        return (
+            f"::{level} file={f.path},line={f.line},col={f.col + 1},"
+            f"title={f.rule}::{message}"
+        )
+
+    out = []
+    for f in report.findings:
+        if f.suppressed:
+            if show_suppressed:
+                out.append(
+                    annotation(
+                        "notice", f, f" [suppressed: {f.justification}]"
+                    )
+                )
+        else:
+            out.append(annotation("error", f))
+    errors = report.errors
+    out.append(
+        f"det-lint: {report.files} files, {len(errors)} error(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="determinism & reliability static analysis (det-lint)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github = workflow annotations)",
+    )
+    parser.add_argument(
+        "--counts-json",
+        metavar="PATH",
+        help="also write per-rule hit counts to this JSON file",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            doc = " ".join((rule.doc or "").split())
+            if doc:
+                print(f"        {doc}")
+        return 0
+
+    root = Path.cwd()
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"det-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, root=root)
+
+    if args.format == "json":
+        payload = {
+            "counts": report.counts(),
+            "findings": [
+                f.as_dict()
+                for f in report.findings
+                if args.show_suppressed or not f.suppressed
+            ],
+        }
+        print(json.dumps(payload, indent=1))
+    else:
+        fmt = _format_github if args.format == "github" else _format_text
+        for line in fmt(report, args.show_suppressed):
+            print(line)
+
+    if args.counts_json:
+        Path(args.counts_json).write_text(
+            json.dumps(report.counts(), indent=1) + "\n"
+        )
+    return 1 if report.errors else 0

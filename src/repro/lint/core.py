@@ -1,0 +1,294 @@
+"""det-lint engine: source model, suppressions, and the file runner.
+
+A *rule* is an object with an ``id``, a ``title``, and a
+``check(SourceFile) -> list[Finding]`` method (see :mod:`repro.lint.rules`).
+The engine parses each file once, hands the shared :class:`SourceFile` to
+every rule, and then applies the per-line suppression comments::
+
+    stats = np.random.default_rng(0)  # det: allow(DET001) seeded, sim only
+
+    # det: allow(DET005) fixed sequential order, simulated clock
+    elapsed += float(durations.sum())
+
+A suppression on its own line covers the next code line; one trailing a
+statement covers that statement's line.  Every suppression must carry a
+justification after the closing parenthesis — a bare ``# det: allow(...)``
+is reported as DET000, so the repo cannot accumulate unexplained opt-outs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Engine-level rule id: malformed/unjustified suppressions, parse errors.
+META_RULE = "DET000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*det:\s*allow\(\s*([A-Za-z0-9_,\s]+?)\s*\)\s*[:\-]?\s*(.*?)\s*$"
+)
+_RULE_ID_RE = re.compile(r"^DET\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# det: allow(...)`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    #: Line the suppression applies to (itself, or the next code line when
+    #: the comment stands alone).
+    target_line: int
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.target_line and finding.rule in self.rules
+
+
+def module_name_for(path: Path, root: Path | None = None) -> str:
+    """Dotted module name of a file, for rule scoping.
+
+    ``src/repro/frw/parallel.py`` maps to ``repro.frw.parallel`` (anything
+    up to and including a ``src`` component is dropped); paths without a
+    ``src`` component map to their relative dotted path
+    (``tests/test_lint.py`` -> ``tests.test_lint``).
+    """
+    path = Path(path)
+    if root is not None:
+        try:
+            path = path.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p not in (".", ""))
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file shared by all rules."""
+
+    path: str
+    module: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    #: Absolute filesystem location (cross-file rules resolve the repo
+    #: root from here; ``path`` is the display/report path).
+    abspath: str = ""
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "SourceFile":
+        path = Path(path)
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        display = str(path)
+        if root is not None:
+            try:
+                display = str(path.resolve().relative_to(Path(root).resolve()))
+            except ValueError:
+                pass
+        src = cls(
+            path=display,
+            module=module_name_for(path, root),
+            text=text,
+            lines=text.splitlines(),
+            tree=tree,
+            abspath=str(path.resolve()),
+        )
+        src.suppressions = list(_scan_suppressions(src.lines))
+        return src
+
+
+def _scan_suppressions(lines: list[str]) -> Iterator[Suppression]:
+    for i, raw in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(raw)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip().upper() for r in m.group(1).split(",") if r.strip()
+        )
+        justification = m.group(2).strip()
+        before = raw[: m.start()].strip()
+        target = i
+        if not before:  # standalone comment: covers the next code line
+            for j in range(i, len(lines)):
+                nxt = lines[j].strip()
+                if nxt and not nxt.startswith("#"):
+                    target = j + 1
+                    break
+        yield Suppression(
+            line=i, rules=rules, justification=justification, target_line=target
+        )
+
+
+@dataclass
+class LintReport:
+    """All findings over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        """Findings that count against the exit code."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def counts(self) -> dict:
+        """Per-rule hit counts (the lint-debt artifact payload)."""
+        out: dict[str, dict[str, int]] = {}
+        for f in self.findings:
+            entry = out.setdefault(f.rule, {"errors": 0, "suppressed": 0})
+            entry["suppressed" if f.suppressed else "errors"] += 1
+        return {
+            "files": self.files,
+            "errors": len(self.errors),
+            "suppressed_total": len(self.suppressed),
+            "rules": dict(sorted(out.items())),
+        }
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into ``.py`` files, skipping caches."""
+    skip_dirs = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            if entry.suffix == ".py":
+                yield entry
+            continue
+        for candidate in sorted(entry.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & skip_dirs or any(
+                p.endswith(".egg-info") for p in candidate.parts
+            ):
+                continue
+            yield candidate
+
+
+def lint_file(
+    path: Path | str, rules=None, root: Path | None = None
+) -> list[Finding]:
+    """Run all (or the given) rules over one file.
+
+    Returns *every* finding, with suppressed ones marked — callers decide
+    whether suppressed findings are shown.  Engine-level problems (parse
+    errors, unjustified or unknown-rule suppressions) are reported as
+    :data:`META_RULE` findings, which cannot themselves be suppressed.
+    """
+    from .rules import ALL_RULES
+
+    path = Path(path)
+    rules = ALL_RULES if rules is None else rules
+    try:
+        src = SourceFile.parse(path, root)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=META_RULE,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(src))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+
+    resolved: list[Finding] = []
+    for f in findings:
+        for sup in src.suppressions:
+            if sup.covers(f):
+                sup.used = True
+                resolved.append(
+                    replace(
+                        f, suppressed=True, justification=sup.justification
+                    )
+                )
+                break
+        else:
+            resolved.append(f)
+
+    active_ids = {r.id for r in rules}
+    for sup in src.suppressions:
+        unknown = [r for r in sup.rules if not _RULE_ID_RE.match(r)]
+        if unknown:
+            resolved.append(
+                Finding(
+                    rule=META_RULE,
+                    path=src.path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        f"suppression names unknown rule id(s) "
+                        f"{', '.join(unknown)}"
+                    ),
+                )
+            )
+        if not sup.justification and set(sup.rules) & active_ids:
+            resolved.append(
+                Finding(
+                    rule=META_RULE,
+                    path=src.path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression has no justification — write "
+                        "'# det: allow("
+                        + ", ".join(sup.rules)
+                        + ") <why this is safe>'"
+                    ),
+                )
+            )
+    resolved.sort(key=lambda f: (f.line, f.col, f.rule))
+    return resolved
+
+
+def lint_paths(
+    paths: Iterable[Path | str], rules=None, root: Path | None = None
+) -> LintReport:
+    """Run the pass over files and directories."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files += 1
+        report.findings.extend(lint_file(path, rules=rules, root=root))
+    return report

@@ -14,6 +14,8 @@ reproducibility"); only the efficiency differs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..errors import RNGError
@@ -22,28 +24,53 @@ from .philox import splitmix64
 
 _MASK32 = 0xFFFFFFFF
 
+#: Default bound on live per-walk ``RandomState`` objects.  Each MT state is
+#: ~2.5 KB (624 words + object overhead); the bound must exceed the number
+#: of *concurrently active* walks (≈ ``batch_size``, default 10 000) so the
+#: steady state never evicts, while capping worst-case cache memory at
+#: ~40 MB even on code paths that never call :meth:`MTWalkStreams.release`.
+DEFAULT_MAX_LIVE = 16_384
+
 
 class MTWalkStreams:
     """Per-walk Mersenne Twister streams with per-walk (re)seeding.
 
     Draws for a given walk must be requested in non-decreasing ``step``
     order, which the walk engine guarantees; each walk stream hands out its
-    uniforms sequentially.  A small per-walk cache keeps the generator alive
-    between steps and is dropped when the walk finishes.
+    uniforms sequentially.  An LRU cache (bounded by ``max_live``) keeps
+    generators alive between steps; the engine drops finished walks eagerly
+    via :meth:`release`, and any stream evicted while still active is
+    revived *bit-identically* by reseeding and fast-forwarding past the
+    draws it already handed out, so the cache bound is a pure
+    memory/latency trade-off and never affects sample values.
     """
 
-    def __init__(self, seed: int, stream: int = 0):
+    def __init__(self, seed: int, stream: int = 0, max_live: int = DEFAULT_MAX_LIVE):
+        if max_live < 1:
+            raise RNGError(f"max_live must be >= 1, got {max_live}")
         self.seed = int(seed)
         self.stream = int(stream)
+        self.max_live = int(max_live)
         self._base = splitmix64(splitmix64(seed) ^ splitmix64(stream))
-        self._states: dict[int, np.random.RandomState] = {}
+        self._states: OrderedDict[int, np.random.RandomState] = OrderedDict()
+        # Draws already handed out per uid — kept past eviction (it is the
+        # replay cursor) and dropped only on release()/reset().
+        self._consumed: dict[int, int] = {}
 
     def _state_for(self, uid: int) -> np.random.RandomState:
         state = self._states.get(uid)
         if state is None:
             walk_seed = splitmix64(self._base ^ splitmix64(uid)) & _MASK32
             state = np.random.RandomState(walk_seed)
+            consumed = self._consumed.get(uid, 0)
+            if consumed:
+                # Revival after eviction: skip what the walk already saw.
+                state.random_sample(consumed)
             self._states[uid] = state
+            while len(self._states) > self.max_live:
+                self._states.popitem(last=False)
+        else:
+            self._states.move_to_end(uid)
         return state
 
     def draws(self, uids: np.ndarray, step: int, count: int) -> np.ndarray:
@@ -59,19 +86,26 @@ class MTWalkStreams:
             )
         uids = np.asarray(uids, dtype=np.uint64)
         out = np.empty((uids.shape[0], count), dtype=np.float64)
-        for row, uid in enumerate(uids):
-            out[row] = self._state_for(int(uid)).random_sample(count)
+        for row, uid_raw in enumerate(uids):
+            uid = int(uid_raw)
+            out[row] = self._state_for(uid).random_sample(count)
+            self._consumed[uid] = self._consumed.get(uid, 0) + count
         return out
 
     def draws_scalar(self, uid: int, step: int, count: int) -> list[float]:
         """Scalar path, consistent with :meth:`draws` for a fresh stream."""
-        return list(self._state_for(int(uid)).random_sample(count))
+        uid = int(uid)
+        values = list(self._state_for(uid).random_sample(count))
+        self._consumed[uid] = self._consumed.get(uid, 0) + count
+        return values
 
     def release(self, uids: np.ndarray) -> None:
-        """Drop cached generators for finished walks."""
+        """Drop cached generators *and* replay cursors for finished walks."""
         for uid in np.asarray(uids, dtype=np.uint64):
             self._states.pop(int(uid), None)
+            self._consumed.pop(int(uid), None)
 
     def reset(self) -> None:
         """Forget all cached walk states (fresh extraction)."""
         self._states.clear()
+        self._consumed.clear()

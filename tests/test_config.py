@@ -45,8 +45,29 @@ def test_with_replaces_fields():
         dict(n_workers=-1),
         dict(chunk_size=-4),
         dict(pipeline_lookahead=-1),
+        dict(seed=-1),
+        dict(machine_seed=-3),
+        dict(table_resolution=1),
+        dict(table_resolution=2048),
+        dict(offset_fraction=0.0),
+        dict(offset_fraction=1.0),
+        dict(h_cap_fraction=0.0),
+        dict(h_cap_fraction=1.5),
+        dict(max_steps=0),
+        dict(check_every=0),
+        dict(scheduler_jitter=-0.1),
+        dict(scheduler_jitter=1.5),
     ],
 )
 def test_invalid_configs_rejected(kwargs):
     with pytest.raises(ConfigError):
         FRWConfig(**kwargs)
+
+
+def test_every_field_boundary_values_accepted():
+    """The validation ranges admit the values the test/experiment matrix
+    actually uses (guards against over-tight DET007-driven validators)."""
+    FRWConfig(seed=0, machine_seed=0, scheduler_jitter=0.0)
+    FRWConfig(table_resolution=2, offset_fraction=0.9, h_cap_fraction=1.0)
+    FRWConfig(max_steps=1, check_every=1, scheduler_jitter=1.0)
+    FRWConfig(sanitize=True)

@@ -24,6 +24,10 @@ BASE = dict(
     min_walks=512,
     max_walks=1536,
     tolerance=2e-2,
+    # Golden suites run with the runtime RNG sanitizer armed: any global
+    # np.random/random use during extraction fails loudly instead of
+    # surfacing as one-bit drift later.
+    sanitize=True,
 )
 
 

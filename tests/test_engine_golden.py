@@ -25,10 +25,20 @@ import repro.frw.engine as engine_mod
 from repro import Box, Conductor, DielectricStack, FRWConfig, Structure
 from repro.frw import build_context, run_walks, run_walks_pipelined
 from repro.frw.parallel import run_walks_parallel, run_walks_processes
+from repro.lint.sanitizer import forbid_global_rng
 from repro.rng import WalkStreams
 
 SEED = 2024
 N_WALKS = 256
+
+
+@pytest.fixture(autouse=True)
+def _rng_sanitizer():
+    """Every golden test runs with the RNG sanitizer armed: engine code
+    reaching for global np.random/random state fails loudly here instead
+    of surfacing as one-bit golden drift in a later PR."""
+    with forbid_global_rng():
+        yield
 
 GOLDEN = {
     "homogeneous": {

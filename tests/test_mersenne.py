@@ -68,3 +68,50 @@ def test_reset_clears_cache():
     assert len(a._states) == 3
     a.reset()
     assert len(a._states) == 0
+    assert len(a._consumed) == 0
+
+
+def test_lru_bounds_live_states():
+    """The RandomState cache never exceeds max_live, even without release."""
+    a = MTWalkStreams(seed=6, max_live=8)
+    uids = np.arange(100, dtype=np.uint64)
+    a.draws(uids, 0, 2)
+    assert len(a._states) <= 8
+    # Replay cursors for active (unreleased) walks are retained.
+    assert len(a._consumed) == 100
+    a.release(uids)
+    assert len(a._states) == 0
+    assert len(a._consumed) == 0
+
+
+def test_lru_eviction_is_bit_identical():
+    """An evicted-but-active stream resumes exactly where it left off."""
+    tiny = MTWalkStreams(seed=7, max_live=4)
+    big = MTWalkStreams(seed=7)  # effectively unbounded for this test
+    uids = np.arange(32, dtype=np.uint64)
+    first_t = tiny.draws(uids, 0, 3)
+    first_b = big.draws(uids, 0, 3)
+    assert np.array_equal(first_t, first_b)
+    # Every stream except the 4 most recent was evicted; step 1 must still
+    # continue each walk's private MT sequence bit-identically.
+    second_t = tiny.draws(uids, 1, 3)
+    second_b = big.draws(uids, 1, 3)
+    assert np.array_equal(second_t, second_b)
+
+
+def test_lru_scalar_path_replays_after_eviction():
+    tiny = MTWalkStreams(seed=8, max_live=2)
+    ref = MTWalkStreams(seed=8)
+    a0 = tiny.draws_scalar(0, 0, 2)
+    assert a0 == ref.draws_scalar(0, 0, 2)
+    tiny.draws_scalar(1, 0, 2)
+    tiny.draws_scalar(2, 0, 2)  # evicts uid 0
+    ref.draws_scalar(1, 0, 2)
+    ref.draws_scalar(2, 0, 2)
+    assert 0 not in tiny._states
+    assert tiny.draws_scalar(0, 1, 2) == ref.draws_scalar(0, 1, 2)
+
+
+def test_lru_max_live_validation():
+    with pytest.raises(RNGError):
+        MTWalkStreams(0, max_live=0)
