@@ -24,6 +24,17 @@ discarded batches), the shared-asset cache counters — the structure's
 spatial index must be built exactly once per extraction — and the spatial
 index's query telemetry (far-field hit rate, candidates pruned).
 
+The entry also records a **worker-scaling** section: the same extraction
+on the serial engine and on the shared-memory process backend
+(``--process-workers`` workers, default 4), with the executor's dispatch
+telemetry — per-dispatch pickle bytes (the steady-state message is
+``(manifest, uids)``, a few KB regardless of structure size) and
+per-worker context attach counts (each worker attaches each published
+block exactly once).  Process rows are asserted bit-identical to the
+serial rows; the walks/sec ratio is recorded honestly — on a single-core
+host the process backend *loses* to serial (pure dispatch overhead, no
+parallel speedup), and the trajectory says so.
+
 The output file is a *trajectory*: every invocation appends a timestamped
 entry (git revision, host info) to the ``runs`` list, so the perf history
 is tracked across PRs.
@@ -114,6 +125,62 @@ def run_schedule(structure: Structure, name: str, cfg: FRWConfig, repeats: int =
     return entry, result
 
 
+def run_worker_scaling(structure: Structure, process_workers: int):
+    """Serial vs shared-memory process backend at the same extraction.
+
+    Returns the scaling entry; asserts the process rows are byte-equal to
+    the serial rows (the shared-context plane must be bit-invisible).
+    """
+    entries = {}
+    serial_cfg = _config().with_(executor="serial")
+    with FRWSolver(structure, serial_cfg) as solver:
+        t0 = time.perf_counter()
+        serial_res = solver.extract()
+        serial_secs = time.perf_counter() - t0
+    entries["serial"] = {
+        "seconds": round(serial_secs, 6),
+        "walks": serial_res.total_walks,
+        "walks_per_sec": round(serial_res.total_walks / serial_secs, 1),
+    }
+    print(
+        f"{'scaling serial':22s} {serial_secs * 1e3:9.1f} ms   "
+        f"{entries['serial']['walks_per_sec']:>10.0f} walks/s"
+    )
+
+    proc_cfg = _config().with_(
+        executor="process", n_workers=process_workers
+    )
+    with FRWSolver(structure, proc_cfg) as solver:
+        t0 = time.perf_counter()
+        proc_res = solver.extract()
+        proc_secs = time.perf_counter() - t0
+        executor = solver.walk_executor()
+        dispatch = executor.dispatch_stats()
+        workers = executor.worker_stats()
+    key = f"process_w{process_workers}"
+    entries[key] = {
+        "seconds": round(proc_secs, 6),
+        "walks": proc_res.total_walks,
+        "walks_per_sec": round(proc_res.total_walks / proc_secs, 1),
+        "dispatch": dispatch,
+        "workers": workers,
+    }
+    print(
+        f"{'scaling ' + key:22s} {proc_secs * 1e3:9.1f} ms   "
+        f"{entries[key]['walks_per_sec']:>10.0f} walks/s   "
+        f"pickle/dispatch {dispatch['pickle_bytes_per_dispatch']:>7.0f} B   "
+        f"attaches {workers.get('total_attaches', 0)}"
+    )
+
+    assert np.array_equal(
+        proc_res.raw_matrix.values, serial_res.raw_matrix.values
+    ), "process rows differ from serial"
+    entries["process_vs_serial"] = round(
+        entries[key]["walks_per_sec"] / entries["serial"]["walks_per_sec"], 3
+    )
+    return entries
+
+
 def _git_rev() -> str:
     try:
         return (
@@ -154,6 +221,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output", default="BENCH_extract.json")
     parser.add_argument("--wires", type=int, default=N_WIRES)
+    parser.add_argument(
+        "--process-workers",
+        type=int,
+        default=N_WORKERS,
+        help="worker count for the worker-scaling process-backend run",
+    )
     args = parser.parse_args()
 
     structure = build_bus(args.wires)
@@ -174,6 +247,8 @@ def main() -> None:
     for name, values in matrices.items():
         assert np.array_equal(values, base), f"{name} rows differ from serial"
     print("all schedules bit-identical to serial-masters rows")
+
+    scaling = run_worker_scaling(structure, args.process_workers)
 
     speedups = {
         "interleaved_vs_serial_masters": round(
@@ -201,6 +276,7 @@ def main() -> None:
             "python": platform.python_version(),
         },
         "results": results,
+        "worker_scaling": scaling,
         "speedups": speedups,
         "bit_identical": True,
     }

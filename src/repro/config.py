@@ -24,6 +24,7 @@ RNG_KINDS = ("philox", "mt")
 SUMMATION_KINDS = ("kahan", "naive")
 EXECUTOR_KINDS = ("serial", "thread", "process")
 ALLOCATION_KINDS = ("even", "variance")
+MP_START_METHODS = ("auto", "fork", "spawn", "forkserver")
 
 
 @dataclass(frozen=True)
@@ -96,11 +97,28 @@ class FRWConfig:
         serial engine — real parallelism changes wall time only, which is
         the DOP-independence contract of Alg. 2.
     n_workers:
-        Workers of the real executor; ``0`` means auto (the host CPU
-        count).  With one worker the executor degrades to the serial path.
+        Workers of the real executor; ``0`` means auto (the CPUs this
+        process may actually run on — ``os.sched_getaffinity`` where
+        available, so containerized/affinity-restricted hosts size pools
+        correctly — falling back to the host CPU count).  With one worker
+        the executor degrades to the serial path.
     chunk_size:
         UIDs per executor work item; ``0`` means auto (an even split of the
         batch over the workers).
+    mp_start_method:
+        Start method of the process backend: ``"fork"``, ``"spawn"``,
+        ``"forkserver"``, or ``"auto"`` (fork where available, else
+        spawn).  With the shared-memory context plane all methods are
+        bit-identical; spawn/forkserver cost more per pool start but work
+        on every platform and give workers a clean interpreter state.
+    shared_context:
+        Ship contexts to process workers through the shared-memory context
+        plane (:mod:`repro.frw.shm`): registration publishes blocks and
+        per-batch dispatch carries only a small manifest, so the pool never
+        restarts and any start method works.  Disabling falls back to the
+        legacy fork-inheritance protocol (POSIX fork only; registering
+        after the pool forked restarts it).  Results are bit-identical
+        either way.
     pipeline:
         Cross-batch walk pipelining: when walks absorb, their vector slots
         are refilled with UIDs from the next batch so the engine's vector
@@ -195,6 +213,8 @@ class FRWConfig:
     executor: str = "thread"
     n_workers: int = 0
     chunk_size: int = 0
+    mp_start_method: str = "auto"
+    shared_context: bool = True
     pipeline: bool = True
     pipeline_lookahead: int = 1
     interleave_masters: bool = True
@@ -281,6 +301,21 @@ class FRWConfig:
             raise ConfigError(f"n_workers must be >= 0, got {self.n_workers}")
         if self.chunk_size < 0:
             raise ConfigError(f"chunk_size must be >= 0, got {self.chunk_size}")
+        if self.mp_start_method not in MP_START_METHODS:
+            raise ConfigError(
+                f"mp_start_method must be one of {MP_START_METHODS}, got "
+                f"{self.mp_start_method!r}"
+            )
+        if not self.shared_context and self.mp_start_method in (
+            "spawn",
+            "forkserver",
+        ):
+            # The legacy protocol ships contexts by fork inheritance, which
+            # spawn/forkserver children do not get.
+            raise ConfigError(
+                "shared_context=False requires mp_start_method 'fork' or "
+                f"'auto', got {self.mp_start_method!r}"
+            )
         if self.pipeline_lookahead < 0:
             raise ConfigError(
                 f"pipeline_lookahead must be >= 0, got {self.pipeline_lookahead}"

@@ -11,7 +11,7 @@ from .alg2_reproducible import (
     machine_rng,
     make_streams,
 )
-from .context import ExtractionContext, SharedAssets, build_context
+from .context import ExtractionContext, SharedAssets, StructureView, build_context
 from .cross_master import extract_rows_interleaved, resolve_wave
 from .engine import (
     ArenaWorkspace,
@@ -27,10 +27,20 @@ from .parallel import (
     PendingBatch,
     PersistentExecutor,
     make_batch_runner,
+    resolve_start_method,
+    resolve_workers,
     run_walks_parallel,
     run_walks_processes,
     stream_spec,
     streams_from_spec,
+)
+from .shm import (
+    ContextManifest,
+    attach_context,
+    publish_context,
+    published_blocks,
+    release_all,
+    release_manifest,
 )
 from .scheduler import (
     ScheduleResult,
@@ -45,6 +55,7 @@ from .walk import WalkTrace, run_single_walk, trace_walks
 
 __all__ = [
     "CapacitanceRow",
+    "ContextManifest",
     "ExtractionContext",
     "ExtractionResult",
     "FRWSolver",
@@ -56,11 +67,13 @@ __all__ = [
     "RunStats",
     "ScheduleResult",
     "SharedAssets",
+    "StructureView",
     "WalkPipeline",
     "WalkResults",
     "WalkTrace",
     "allocate_quota",
     "assemble_result",
+    "attach_context",
     "build_context",
     "extract",
     "extract_row_alg1",
@@ -73,9 +86,15 @@ __all__ = [
     "make_streams",
     "multilevel_extract",
     "plan_groups",
+    "publish_context",
+    "published_blocks",
+    "release_all",
+    "release_manifest",
     "run_single_walk",
     "ArenaWorkspace",
     "StageTimers",
+    "resolve_start_method",
+    "resolve_workers",
     "run_walks",
     "run_walks_parallel",
     "run_walks_pipelined",

@@ -204,6 +204,15 @@ def extract_row_alg2(
         if owned is not None:
             owned.close()
 
+    # Pipelined process dispatch may leave speculative batches in flight
+    # when the stopping rule fires; the runner counts them at close().
+    # They were dispatched work the row never consumed — account them so
+    # the speculation telemetry matches the cross-master scheduler's.
+    discarded = int(getattr(runner, "speculative_discarded", 0))
+    if discarded:
+        progress.stats.dispatched_batches += discarded
+        progress.stats.discarded_batches += discarded
+
     return progress.finalize()
 
 

@@ -192,10 +192,13 @@ def extract_rows_interleaved(
         take = min(wave - live, len(pending))
         if take <= 0:
             return
-        if executor is not None and executor.backend == "process":
-            # Registration re-forks the pool; drain in-flight batches so
-            # no handle is left pointing into a terminated pool.  Results
-            # are cached on the handles — nothing is recomputed.
+        if executor is not None and executor.restarts_on_register:
+            # Legacy fork-inheritance protocol: registration re-forks the
+            # pool, so drain in-flight batches first — no handle may be
+            # left pointing into a terminated pool.  Results are cached on
+            # the handles, nothing is recomputed.  The shared-memory
+            # context plane never restarts, so no drain is needed there
+            # and admission stays overlap-free.
             for st in active:
                 for handle in st.inflight.values():
                     handle.result()

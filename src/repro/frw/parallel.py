@@ -22,9 +22,20 @@ differs only in how the walks are scheduled:
 * :class:`ThreadedBatchRunner` — the batch is split into UID chunks; each
   chunk owns a *slot pipeline* that persists across batches (cross-batch
   pipelining per worker), and slot tasks run on the shared thread pool.
-* :class:`ProcessBatchRunner` — chunks dispatched to the persistent fork
-  pool (workers are stateless between batches, so no cross-batch
-  pipelining; contexts are shipped once, at fork).
+* :class:`ProcessBatchRunner` — chunks dispatched to the persistent
+  process pool, with cross-batch *dispatch pipelining*: while batch ``u``
+  is being harvested, chunks of batches ``u+1 .. u+lookahead`` are already
+  in flight, so the pool never drains at a batch boundary.  UIDs are a
+  pure function of the batch index and results reassemble in UID order,
+  so speculation trades wall time only.
+
+The process backend ships contexts through the **shared-memory context
+plane** (:mod:`repro.frw.shm`) by default: registering a context publishes
+its arrays into a shared block once, and per-batch messages carry only a
+small manifest + the UID chunk — workers attach lazily and cache the
+attachment, so steady-state dispatch is manifest-only and works under any
+start method (``fork``, ``spawn``, ``forkserver``).  The legacy
+fork-inheritance protocol survives behind ``shared_context=False``.
 
 Every path reuses the engine's slot arena across batches: the pipelined
 runners own persistent :class:`~repro.frw.engine.WalkPipeline` instances
@@ -39,12 +50,15 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import pickle
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..config import EXECUTOR_KINDS, FRWConfig
+from ..config import EXECUTOR_KINDS, MP_START_METHODS, FRWConfig
 from ..errors import ConfigError
+from . import shm
 from .context import ExtractionContext
 from .engine import StageTimers, WalkPipeline, WalkResults, run_walks
 
@@ -72,10 +86,47 @@ def streams_from_spec(spec: StreamSpec):
 
 
 def resolve_workers(n_workers: int) -> int:
-    """Worker count with ``0`` meaning auto (the host CPU count)."""
+    """Worker count with ``0`` meaning auto.
+
+    Auto prefers ``os.sched_getaffinity(0)`` — the CPUs this process may
+    actually run on — over ``os.cpu_count()``: in containers and under
+    taskset/cgroup limits the two differ, and sizing a pool by the host
+    count oversubscribes the allowed cores (or, with a restricted
+    ``cpu_count``, undersizes it).  Falls back to the host count where
+    affinity is not exposed (macOS, Windows).
+    """
     if n_workers > 0:
         return int(n_workers)
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
     return os.cpu_count() or 1
+
+
+def resolve_start_method(method: str = "auto") -> str:
+    """Concrete multiprocessing start method for the process backend.
+
+    ``"auto"`` resolves to ``fork`` where the platform offers it (cheapest
+    pool start) and ``spawn`` otherwise.  Explicit methods are validated
+    against the platform's supported set.
+    """
+    if method not in MP_START_METHODS:
+        raise ConfigError(
+            f"mp_start_method must be one of {MP_START_METHODS}, got "
+            f"{method!r}"
+        )
+    available = multiprocessing.get_all_start_methods()
+    if method == "auto":
+        return "fork" if "fork" in available else "spawn"
+    if method not in available:  # pragma: no cover - platform dependent
+        raise ConfigError(
+            f"start method {method!r} is not supported on this platform "
+            f"(available: {available})"
+        )
+    return method
 
 
 def _chunk_bounds(n: int, workers: int, chunk_size: int) -> list[tuple[int, int]]:
@@ -96,9 +147,16 @@ def _reassemble(uids: np.ndarray, parts: list[WalkResults]) -> WalkResults:
 
 
 # ----------------------------------------------------------------------
-# Process-pool worker side.  Contexts are shipped once: the parent stores
-# them in _FORK_REGISTRY immediately before forking the pool, and workers
-# inherit that memory.  Per-batch messages then carry only (key, uids).
+# Process-pool worker side.  Two context-shipping protocols:
+#
+# * Shared-memory plane (default): the parent publishes each context into
+#   a shared block (repro.frw.shm) and dispatches (manifest, uids) work
+#   items.  Workers attach lazily — the first chunk of a context maps the
+#   block and rebuilds the context over zero-copy views; every later chunk
+#   hits the attachment cache.  Works under fork, spawn, and forkserver.
+# * Legacy fork inheritance (shared_context=False): the parent stores
+#   contexts in _FORK_REGISTRY immediately before forking the pool and
+#   workers inherit that memory; per-batch messages carry only (key, uids).
 # ----------------------------------------------------------------------
 _LOG = logging.getLogger(__name__)
 
@@ -116,6 +174,30 @@ def _process_chunk(key: int, uids: np.ndarray) -> WalkResults:
         # only avoids re-deriving keys and cannot affect sample values.
         _WORKER_STREAMS[key] = streams
     return run_walks(ctx, streams, uids)
+
+
+def _shm_chunk(manifest, uids: np.ndarray) -> WalkResults:
+    """Worker entry of the shared-context protocol: attach (cached), run."""
+    ctx = shm.attach_context(manifest)
+    cache_key = (manifest.block, manifest.spec)
+    streams = _WORKER_STREAMS.get(cache_key)
+    if streams is None:
+        streams = streams_from_spec(manifest.spec)
+        # det: allow(DET006) per-process memo of this worker's own stream
+        # family; streams are counter-based (stateless per uid), so the cache
+        # only avoids re-deriving keys and cannot affect sample values.
+        _WORKER_STREAMS[cache_key] = streams
+    return run_walks(ctx, streams, uids)
+
+
+def _worker_probe(delay: float) -> tuple[int, int]:
+    """Identify the executing worker: ``(pid, blocks attached so far)``.
+
+    Each probe sleeps briefly so a ``map(..., chunksize=1)`` of one probe
+    per pool slot lands on distinct workers instead of racing onto one.
+    """
+    time.sleep(float(delay))
+    return os.getpid(), shm.attach_count()
 
 
 class PendingBatch:
@@ -166,16 +248,34 @@ class PersistentExecutor:
     chunk_size:
         UIDs per work item; ``0`` means auto (even split over workers).
 
+    mp_start_method:
+        Start method of the process backend (``"auto"``, ``"fork"``,
+        ``"spawn"``, ``"forkserver"``; see :func:`resolve_start_method`).
+    shared_context:
+        Ship contexts through the shared-memory plane (default): the pool
+        is created once, registration publishes blocks, workers attach
+        lazily, and per-batch messages carry only the manifest.  With
+        ``False`` the legacy fork-inheritance protocol is used: contexts
+        travel by forking *after* registration, and registering a new
+        context after the fork restarts the pool once.
+
     Contexts are registered once per master (:meth:`register`); thereafter
-    any number of batches can be dispatched with :meth:`run`.  The process
-    backend ships registered contexts to workers by forking *after*
-    registration, so per-batch messages carry only ``(key, uids)``;
-    registering a new context after the pool forked triggers one pool
-    restart (``FRWSolver.extract`` therefore registers all masters up
-    front).
+    any number of batches can be dispatched with :meth:`run`.  Dispatch
+    telemetry (work items, pickled payload bytes) accumulates in
+    :meth:`dispatch_stats`; :meth:`worker_stats` probes the live pool for
+    worker PIDs and per-worker attachment counts.
     """
 
-    def __init__(self, backend: str = "thread", n_workers: int = 0, chunk_size: int = 0):
+    def __init__(
+        self,
+        backend: str = "thread",
+        n_workers: int = 0,
+        chunk_size: int = 0,
+        mp_start_method: str = "auto",
+        shared_context: bool = True,
+    ):
+        # Set first so __del__/close stay safe if validation below raises.
+        self._closed = True
         if backend not in EXECUTOR_KINDS:
             raise ConfigError(
                 f"executor backend must be one of {EXECUTOR_KINDS}, got {backend!r}"
@@ -183,20 +283,44 @@ class PersistentExecutor:
         self.backend = backend
         self.n_workers = resolve_workers(n_workers)
         self.chunk_size = int(chunk_size)
+        self.mp_start_method = mp_start_method
+        self.shared_context = bool(shared_context)
+        if backend == "process":
+            # Resolve eagerly so a bad method/platform combination fails at
+            # construction, not mid-extraction.
+            self._start_method = resolve_start_method(mp_start_method)
+            if not self.shared_context and self._start_method != "fork":
+                raise ConfigError(
+                    "shared_context=False ships contexts by fork "
+                    "inheritance and requires the fork start method, "
+                    f"got {self._start_method!r}"
+                )
+        else:
+            self._start_method = None
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool = None
         self._registry: dict[int, tuple[ExtractionContext, StreamSpec]] = {}
         self._keys: dict[tuple[int, StreamSpec], int] = {}
+        self._manifests: dict[int, "shm.ContextManifest"] = {}
         self._next_key = 0
         self._version = 0
         self._forked_version = -1
         self._closed = False
+        self.dispatches = 0
+        self.dispatch_pickle_bytes = 0
 
     # ------------------------------------------------------------------
     # Registration (context shipping)
     # ------------------------------------------------------------------
     def register(self, ctx: ExtractionContext, spec: StreamSpec) -> int:
-        """Register a context + stream spec once; returns its dispatch key."""
+        """Register a context + stream spec once; returns its dispatch key.
+
+        On the shared-context process backend this *publishes* the context
+        into a shared-memory block immediately — the pool (if any) keeps
+        running and workers attach on first dispatch.  On the legacy
+        fork-inheritance backend it bumps the registry version, which
+        triggers one pool restart at the next dispatch.
+        """
         ident = (id(ctx), spec)
         key = self._keys.get(ident)
         if key is not None:
@@ -206,7 +330,21 @@ class PersistentExecutor:
         self._registry[key] = (ctx, spec)
         self._keys[ident] = key
         self._version += 1
+        if self.backend == "process" and self.shared_context:
+            self._manifests[key] = shm.publish_context(ctx, spec)
         return key
+
+    @property
+    def restarts_on_register(self) -> bool:
+        """Whether registering a new context forces a pool restart.
+
+        Only the legacy fork-inheritance protocol does; the shared-memory
+        context plane creates the pool once and later registrations just
+        publish new blocks, which workers attach lazily.  Schedulers use
+        this to decide whether in-flight handles must be drained before
+        admitting a new registration wave.
+        """
+        return self.backend == "process" and not self.shared_context
 
     # ------------------------------------------------------------------
     # Pools
@@ -219,15 +357,21 @@ class PersistentExecutor:
         return self._thread_pool
 
     def _processes(self):
+        if self.shared_context:
+            # Shared-memory plane: one pool for the executor's lifetime.
+            # Contexts live in published blocks, so registration never
+            # requires a restart and any start method works.
+            if self._process_pool is None:
+                mp_ctx = multiprocessing.get_context(self._start_method)
+                self._process_pool = mp_ctx.Pool(processes=self.n_workers)
+                self._forked_version = self._version
+            return self._process_pool
         if self._process_pool is None or self._forked_version != self._version:
             if self._process_pool is not None:
                 self._process_pool.terminate()
                 self._process_pool.join()
                 self._process_pool = None
-            try:
-                mp_ctx = multiprocessing.get_context("fork")
-            except ValueError as exc:  # pragma: no cover - non-POSIX hosts
-                raise ConfigError("process backend requires fork support") from exc
+            mp_ctx = multiprocessing.get_context("fork")
             # Ship every registered context to the workers via fork
             # inheritance: set the module-level registry, then fork.
             _FORK_REGISTRY.clear()
@@ -280,23 +424,82 @@ class PersistentExecutor:
         else:
             bounds = _chunk_bounds(n, self.n_workers, self.chunk_size)
         chunks = [uids[a:b] for a, b in bounds]
+        self.dispatches += len(chunks)
         if self.backend == "thread":
             futures = [
                 self._threads().submit(run_walks, ctx, streams_from_spec(spec), c)
                 for c in chunks
             ]
             return PendingBatch(uids, waiters=[f.result for f in futures])
-        asyncs = [
-            self._processes().apply_async(_process_chunk, (key, c))
-            for c in chunks
-        ]
+        pool = self._processes()
+        if self.shared_context:
+            manifest = self._manifests[key]
+            payloads = [(manifest, c) for c in chunks]
+            worker = _shm_chunk
+        else:
+            payloads = [(key, c) for c in chunks]
+            worker = _process_chunk
+        self.dispatch_pickle_bytes += sum(
+            len(pickle.dumps(p, protocol=pickle.HIGHEST_PROTOCOL))
+            for p in payloads
+        )
+        asyncs = [pool.apply_async(worker, p) for p in payloads]
         return PendingBatch(uids, waiters=[a.get for a in asyncs])
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def dispatch_stats(self) -> dict:
+        """Cumulative dispatch telemetry.
+
+        ``pickle_bytes`` counts the pickled payload of every process-pool
+        work item (the thread backend ships references, not pickles), so
+        ``pickle_bytes_per_dispatch`` directly measures the steady-state
+        per-dispatch payload — manifest-only under the shared-context
+        plane, regardless of context size.
+        """
+        n = max(1, self.dispatches)
+        return {
+            "dispatches": self.dispatches,
+            "pickle_bytes": self.dispatch_pickle_bytes,
+            "pickle_bytes_per_dispatch": round(
+                self.dispatch_pickle_bytes / n, 1
+            ),
+            "published_contexts": len(self._manifests),
+            "published_nbytes": sum(
+                m.nbytes for m in self._manifests.values()
+            ),
+        }
+
+    def worker_stats(self, probes_per_worker: int = 4, delay: float = 0.02) -> dict:
+        """Best-effort process-pool probe: worker PIDs and attach counts.
+
+        Maps short sleep probes across the pool (``chunksize=1`` so they
+        spread over workers) and reports, per observed worker PID, how many
+        shared context blocks that worker has attached.  Empty for
+        non-process backends.  Scheduling decides which workers answer, so
+        this is telemetry — results never feed back into walk values.
+        """
+        if self.backend != "process":
+            return {}
+        pool = self._processes()
+        n = max(1, self.n_workers) * max(1, int(probes_per_worker))
+        rows = pool.map(_worker_probe, [delay] * n, chunksize=1)
+        attaches: dict[int, int] = {}
+        for pid, count in rows:
+            attaches[pid] = max(count, attaches.get(pid, 0))
+        pids = sorted(attaches)
+        return {
+            "worker_pids": pids,
+            "attach_counts": {str(pid): attaches[pid] for pid in pids},
+            "total_attaches": sum(attaches[pid] for pid in pids),
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pools down (idempotent)."""
+        """Shut the pools down and release published blocks (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -307,6 +510,12 @@ class PersistentExecutor:
             self._process_pool.terminate()
             self._process_pool.join()
             self._process_pool = None
+        # Unlink after the workers are gone: attached mappings die with
+        # them, so no segment outlives the executor in /dev/shm.
+        if self._manifests:
+            for key in sorted(self._manifests):
+                shm.release_manifest(self._manifests[key])
+            self._manifests.clear()
 
     def __enter__(self) -> "PersistentExecutor":
         return self
@@ -480,7 +689,17 @@ class ThreadedBatchRunner:
 
 
 class ProcessBatchRunner:
-    """Batches dispatched to the persistent fork pool, chunked per worker."""
+    """Batches dispatched to the persistent process pool, pipelined across
+    batch boundaries (RidgeWalker's dispatch model).
+
+    ``run_batch(u)`` keeps up to ``lookahead`` batches beyond ``u`` in
+    flight, so while batch ``u`` is being gathered the pool is already
+    computing ``u+1 .. u+lookahead`` — the workers never drain at a batch
+    boundary.  Batch UIDs are a pure function of the batch index and every
+    batch reassembles in UID order, so speculation changes wall time only;
+    batches still in flight when the stopping rule fires are counted in
+    ``speculative_discarded`` (dispatched work the row never consumed).
+    """
 
     def __init__(
         self,
@@ -488,18 +707,41 @@ class ProcessBatchRunner:
         spec: StreamSpec,
         batch_size: int,
         executor: PersistentExecutor,
+        lookahead: int = 1,
     ):
         self.batch_size = int(batch_size)
         self.executor = executor
+        self.lookahead = max(0, int(lookahead))
         self._key = executor.register(ctx, spec)
+        self._inflight: dict[int, PendingBatch] = {}
+        self._next_dispatch = 0
+        self.speculative_discarded = 0
 
-    def run_batch(self, batch_index: int) -> WalkResults:
+    def _dispatch(self, batch_index: int) -> PendingBatch:
         base = batch_index * self.batch_size
         uids = np.arange(base, base + self.batch_size, dtype=np.uint64)
-        return self.executor.run(self._key, uids)
+        return self.executor.run_async(self._key, uids)
+
+    def run_batch(self, batch_index: int) -> WalkResults:
+        target = max(batch_index + 1 + self.lookahead, batch_index + 1)
+        while self._next_dispatch < target:
+            self._inflight[self._next_dispatch] = self._dispatch(
+                self._next_dispatch
+            )
+            self._next_dispatch += 1
+        handle = self._inflight.pop(batch_index, None)
+        if handle is None:
+            # Out-of-order harvest (not used by extract_row_alg2, but the
+            # runner API allows it): dispatch on demand.
+            handle = self._dispatch(batch_index)
+        return handle.result()
 
     def close(self) -> None:
-        pass  # the pool is shared and owned elsewhere
+        # The pool is shared and owned elsewhere; dropped handles are never
+        # gathered, so the only cost of speculation is worker time already
+        # spent (bounded by `lookahead` batches).
+        self.speculative_discarded += len(self._inflight)
+        self._inflight.clear()
 
 
 def make_batch_runner(
@@ -529,7 +771,13 @@ def make_batch_runner(
     spec = stream_spec(config, ctx.master)
     owned = None
     if backend != "serial" and workers > 1 and executor is None:
-        owned = PersistentExecutor(backend, config.n_workers, config.chunk_size)
+        owned = PersistentExecutor(
+            backend,
+            config.n_workers,
+            config.chunk_size,
+            mp_start_method=config.mp_start_method,
+            shared_context=config.shared_context,
+        )
         executor = owned
     if backend == "serial" or workers <= 1 or executor is None:
         streams = streams_from_spec(spec)
@@ -556,7 +804,13 @@ def make_batch_runner(
             timers=timers,
         )
     else:
-        runner = ProcessBatchRunner(ctx, spec, config.batch_size, executor)
+        runner = ProcessBatchRunner(
+            ctx,
+            spec,
+            config.batch_size,
+            executor,
+            lookahead=config.pipeline_lookahead if config.pipeline else 0,
+        )
     return runner, owned
 
 
@@ -600,16 +854,19 @@ def run_walks_processes(
     uids: np.ndarray,
     n_workers: int,
     chunk_size: int | None = None,
+    start_method: str = "auto",
 ) -> WalkResults:
-    """Execute one UID batch across a short-lived fork pool.
+    """Execute one UID batch across a short-lived process pool.
 
     Mirrors the distributed-memory deployments of FRW solvers: workers
-    share nothing but the structure (shipped once at pool start) and the
-    global seed; results are reassembled in UID order and are bit-identical
-    to the serial engine.  Counter-based streams make this trivially
-    correct — any worker can evaluate any walk.
+    share nothing but the published context (one shared-memory block) and
+    the global seed; results are reassembled in UID order and are
+    bit-identical to the serial engine.  Counter-based streams make this
+    trivially correct — any worker can evaluate any walk.
 
-    Only available where ``fork`` is supported (POSIX).
+    ``start_method`` picks the pool start method (``"auto"``, ``"fork"``,
+    ``"spawn"``, ``"forkserver"``); the shared-memory context plane makes
+    all of them produce identical bits on every platform that has them.
     """
     uids = np.asarray(uids, dtype=np.uint64)
     n = uids.shape[0]
@@ -618,6 +875,8 @@ def run_walks_processes(
         from ..rng import WalkStreams
 
         return run_walks(ctx, WalkStreams(seed, stream), uids)
-    with PersistentExecutor("process", workers, int(chunk_size or 0)) as executor:
+    with PersistentExecutor(
+        "process", workers, int(chunk_size or 0), mp_start_method=start_method
+    ) as executor:
         key = executor.register(ctx, ("philox", seed, stream))
         return executor.run(key, uids)

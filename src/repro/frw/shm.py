@@ -1,0 +1,342 @@
+"""Shared-memory context plane: publish/attach for extraction contexts.
+
+The process backend needs every worker to see the big read-only context
+assets — the cube transition table, the spatial index's CSR arrays and
+tier-1 bounds, the conductor geometry SoA, the Gaussian-surface sampling
+arrays.  Historically they travelled by fork inheritance, which forced a
+pool restart per registration wave and tied the backend to POSIX ``fork``.
+This module replaces that with an explicit, spawn-safe protocol:
+
+* :func:`publish_context` packs a context's arrays into **one**
+  ``multiprocessing.shared_memory`` block (64-byte-aligned layout) and
+  returns a small picklable :class:`ContextManifest` — block name, per-array
+  dtype/shape/offset specs, a pickled scalar skeleton (config, dielectric
+  stack, enclosure, grid geometry), the stream spec, and a BLAKE2b content
+  hash.
+* :func:`attach_context` (worker side) maps the named block, rebuilds an
+  :class:`~repro.frw.context.ExtractionContext` over zero-copy read-only
+  views, verifies the content hash, and caches the attachment by block
+  name — so steady-state dispatch ships only the manifest and the worker
+  does no per-batch deserialisation at all.
+
+Reconstruction goes through the ``packed()`` / ``from_packed()`` pairs of
+:class:`~repro.geometry.GaussianSurface`, :class:`~repro.geometry.GridIndex`,
+:class:`~repro.geometry.BruteForceIndex` and
+:class:`~repro.greens.CubeTransitionTable`; derived state is recomputed by
+the same expressions the building constructors use, so an attached context
+is *bit-identical* to the published one — the content hash makes that
+checkable, not assumed.
+
+Lifecycle safety: the publishing process owns every block it creates
+(``release_manifest`` / ``release_all`` close **and unlink**; an ``atexit``
+guard releases stragglers).  Attaching pool children share the parent's
+resource tracker, so their attach-side registration is an idempotent no-op
+against the publisher's entry.  Fork-pool children exit via ``os._exit``
+and never run the guard; spawn children start with an empty registry —
+either way only the publisher unlinks, exactly once.
+
+This module is the *only* place raw ``SharedMemory`` objects may be
+constructed (enforced by det-lint rule DET008): the read-only discipline
+and unlink-exactly-once ownership are what keep the context plane safe to
+share across schedules.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from ..errors import DeterminismError
+from ..geometry import BruteForceIndex, GaussianSurface, GridIndex
+from ..greens import CubeTransitionTable
+from .context import ExtractionContext, StructureView
+
+#: Alignment of every array inside a block (cache-line sized, and enough
+#: for any numpy dtype).
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one packed array inside a context block."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ContextManifest:
+    """Everything a worker needs to attach one published context.
+
+    A manifest is a few kilobytes and pickles fast: ``meta`` is the pickled
+    scalar skeleton (config, dielectric stack, enclosure, index geometry),
+    ``spec`` is the ``(rng_kind, seed, stream)`` stream spec, and
+    ``content_hash`` pins the exact bytes of ``meta`` plus every packed
+    array, so a stale or torn attachment fails loudly instead of producing
+    silently different walks.
+    """
+
+    block: str
+    nbytes: int
+    arrays: tuple[ArraySpec, ...]
+    meta: bytes
+    spec: tuple
+    content_hash: str
+
+
+# ----------------------------------------------------------------------
+# Process-local registries.
+#
+# _PUBLISHED maps block name -> (segment, owner pid) for blocks created by
+# *this* process; only entries whose owner pid matches os.getpid() are
+# unlinked (fork children inherit the dict but pool workers exit via
+# os._exit and never reach the atexit guard; the pid check covers any
+# other fork).  _ATTACHED maps block name -> (content hash, segment,
+# reconstructed context) and is the worker-side attachment cache.
+# ----------------------------------------------------------------------
+_PUBLISHED: dict[str, tuple[SharedMemory, int]] = {}
+_ATTACHED: dict[str, tuple[str, SharedMemory, ExtractionContext]] = {}
+_ATTACHES = 0
+_BLOCK_SEQ = 0
+
+
+def _next_block_name() -> str:
+    """Deterministic per-process block name (pid + counter, no entropy)."""
+    global _BLOCK_SEQ
+    _BLOCK_SEQ += 1
+    return f"frwctx-{os.getpid()}-{_BLOCK_SEQ}"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _content_hash(meta: bytes, spec: tuple, items) -> str:
+    """BLAKE2b over the scalar skeleton, stream spec, and array bytes.
+
+    ``items`` is an ordered ``(key, contiguous ndarray)`` sequence; the
+    same ordering is used on publish and attach, so equal hashes mean the
+    attached views are byte-for-byte the published arrays.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(meta)
+    h.update(repr(spec).encode())
+    for key, arr in items:
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(tuple(arr.shape)).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _context_payload(ctx: ExtractionContext):
+    """Split a context into (meta dict, ordered [(key, array)] list)."""
+    surf_scalars, surf_arrays = ctx.surface.packed()
+    index_scalars, index_arrays = ctx.index.packed()
+    table_scalars, table_arrays = ctx.table.packed()
+    meta = {
+        "master": int(ctx.master),
+        "config": ctx.config,
+        "h_cap": float(ctx.h_cap),
+        "absorb_tol": float(ctx.absorb_tol),
+        "dielectric": ctx.structure.dielectric,
+        "enclosure": ctx.structure.enclosure,
+        "n_base_conductors": len(ctx.structure.conductors),
+        "surface": surf_scalars,
+        "index": index_scalars,
+        "table": table_scalars,
+    }
+    items = []
+    for group, arrays in (
+        ("surface", surf_arrays),
+        ("index", index_arrays),
+        ("table", table_arrays),
+    ):
+        for key in arrays:
+            items.append(
+                (f"{group}.{key}", np.ascontiguousarray(arrays[key]))
+            )
+    return meta, items
+
+
+def publish_context(ctx: ExtractionContext, spec: tuple) -> ContextManifest:
+    """Copy a context's arrays into a fresh shared block; return its manifest.
+
+    The publishing process owns the block: it stays mapped (and listed by
+    :func:`published_blocks`) until :func:`release_manifest`,
+    :func:`release_all`, or the atexit guard unlinks it.  ``spec`` is the
+    ``(rng_kind, seed, stream)`` stream spec the workers rebuild their
+    per-walk streams from.
+    """
+    meta, items = _context_payload(ctx)
+    specs = []
+    offset = 0
+    for key, arr in items:
+        offset = _aligned(offset)
+        specs.append(ArraySpec(key, str(arr.dtype), tuple(arr.shape), offset))
+        offset += arr.nbytes
+    nbytes = max(1, offset)
+    name = _next_block_name()
+    seg = SharedMemory(name=name, create=True, size=nbytes)
+    for aspec, (_key, arr) in zip(specs, items):
+        dst = np.ndarray(
+            aspec.shape, dtype=arr.dtype, buffer=seg.buf, offset=aspec.offset
+        )
+        dst[...] = arr
+    _PUBLISHED[name] = (seg, os.getpid())
+    meta_bytes = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    return ContextManifest(
+        block=name,
+        nbytes=seg.size,
+        arrays=tuple(specs),
+        meta=meta_bytes,
+        spec=tuple(spec),
+        content_hash=_content_hash(meta_bytes, tuple(spec), items),
+    )
+
+
+def _open_block(name: str) -> SharedMemory:
+    # Python 3.11 registers every attach with the resource tracker.  All
+    # attachers in this design are pool children, and multiprocessing
+    # hands every child (fork, spawn, and forkserver alike) the parent's
+    # tracker fd — so the attach-side register is an idempotent re-add of
+    # the publisher's own entry (the tracker cache is a set), and the
+    # publisher's release performs the single unregister+unlink.  Do NOT
+    # unregister here: with a shared tracker that would delete the
+    # publisher's entry and make the final unlink misaccounted.
+    return SharedMemory(name=name)
+
+
+def _view(seg: SharedMemory, aspec: ArraySpec) -> np.ndarray:
+    arr = np.ndarray(
+        aspec.shape,
+        dtype=np.dtype(aspec.dtype),
+        buffer=seg.buf,
+        offset=aspec.offset,
+    )
+    arr.flags.writeable = False
+    return arr
+
+
+def _reconstruct(
+    manifest: ContextManifest, seg: SharedMemory
+) -> ExtractionContext:
+    views = {a.key: _view(seg, a) for a in manifest.arrays}
+    got = _content_hash(
+        manifest.meta,
+        manifest.spec,
+        [(a.key, views[a.key]) for a in manifest.arrays],
+    )
+    if got != manifest.content_hash:
+        raise DeterminismError(
+            f"shared context block {manifest.block!r} does not match its "
+            f"manifest (hash {got} != {manifest.content_hash}); the block "
+            "was mutated or the manifest is stale"
+        )
+    meta = pickle.loads(manifest.meta)
+
+    def group(prefix: str) -> dict[str, np.ndarray]:
+        cut = len(prefix) + 1
+        return {
+            k[cut:]: v for k, v in views.items() if k.startswith(prefix + ".")
+        }
+
+    surface = GaussianSurface.from_packed(meta["surface"], group("surface"))
+    index_scalars = meta["index"]
+    if index_scalars["kind"] == "grid":
+        index = GridIndex.from_packed(index_scalars, group("index"))
+    else:
+        index = BruteForceIndex.from_packed(index_scalars, group("index"))
+    table = CubeTransitionTable.from_packed(meta["table"], group("table"))
+    structure = StructureView(
+        dielectric=meta["dielectric"],
+        enclosure=meta["enclosure"],
+        n_base_conductors=meta["n_base_conductors"],
+    )
+    return ExtractionContext(
+        structure=structure,
+        master=meta["master"],
+        config=meta["config"],
+        surface=surface,
+        index=index,
+        table=table,
+        h_cap=meta["h_cap"],
+        absorb_tol=meta["absorb_tol"],
+    )
+
+
+def attach_context(manifest: ContextManifest) -> ExtractionContext:
+    """Attach a published context (cached per process by block name).
+
+    The first attach maps the block, rebuilds the context over read-only
+    views, and verifies the content hash; later calls with the same block
+    return the cached context in O(1).  A cached block whose hash disagrees
+    with the manifest raises :class:`~repro.errors.DeterminismError` —
+    block names are never reused within a publishing process, so this only
+    fires on genuine corruption or cross-process name collisions.
+    """
+    global _ATTACHES
+    entry = _ATTACHED.get(manifest.block)
+    if entry is not None:
+        if entry[0] != manifest.content_hash:
+            raise DeterminismError(
+                f"shared context block {manifest.block!r} is cached with "
+                f"hash {entry[0]} but the manifest expects "
+                f"{manifest.content_hash}"
+            )
+        return entry[2]
+    seg = _open_block(manifest.block)
+    ctx = _reconstruct(manifest, seg)
+    _ATTACHED[manifest.block] = (manifest.content_hash, seg, ctx)
+    _ATTACHES += 1
+    return ctx
+
+
+def attach_count() -> int:
+    """How many distinct blocks this process has attached (telemetry)."""
+    return _ATTACHES
+
+
+def published_blocks() -> list[str]:
+    """Names of the blocks this process has published and not yet released."""
+    return sorted(_PUBLISHED)
+
+
+def _release_block(name: str) -> None:
+    entry = _PUBLISHED.pop(name, None)
+    if entry is None:
+        return
+    seg, owner = entry
+    seg.close()
+    if owner != os.getpid():
+        # A forked copy of the publisher's registry: the block belongs to
+        # the parent, which unlinks it; just drop the mapping.
+        return
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass  # already gone (double release is not an error)
+
+
+def release_manifest(manifest: ContextManifest) -> None:
+    """Close and unlink one published block (publisher side, idempotent)."""
+    _release_block(manifest.block)
+
+
+def release_all() -> None:
+    """Close and unlink every block this process still owns."""
+    for name in sorted(_PUBLISHED):
+        _release_block(name)
+
+
+# Interpreter-shutdown guard: a solver that is garbage collected without
+# close() (or a crashed extraction) must not leave blocks in /dev/shm.
+atexit.register(release_all)

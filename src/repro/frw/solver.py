@@ -195,7 +195,11 @@ class FRWSolver:
             return None
         if self._executor is None:
             self._executor = PersistentExecutor(
-                cfg.executor, cfg.n_workers, cfg.chunk_size
+                cfg.executor,
+                cfg.n_workers,
+                cfg.chunk_size,
+                mp_start_method=cfg.mp_start_method,
+                shared_context=cfg.shared_context,
             )
         return self._executor
 
@@ -246,8 +250,11 @@ class FRWSolver:
         for start in range(0, len(masters), wave):
             chunk = masters[start : start + wave]
             if executor is not None and executor.backend == "process":
-                # One registration burst per wave: the fork pool restarts
-                # once, shipping the whole wave's contexts together.
+                # One registration burst per wave.  On the shared-memory
+                # plane this publishes the wave's blocks up front (workers
+                # attach lazily; the pool keeps running); on the legacy
+                # fork-inheritance path the pool restarts once per wave,
+                # shipping the whole wave's contexts together.
                 for master in chunk:
                     executor.register(
                         self.context(master), stream_spec(self.config, master)
@@ -333,5 +340,12 @@ def extract(
     config: FRWConfig | None = None,
     masters: list[int] | None = None,
 ) -> ExtractionResult:
-    """One-call extraction convenience function."""
-    return FRWSolver(structure, config).extract(masters)
+    """One-call extraction convenience function.
+
+    Owns the solver lifecycle: executor pools and shared-memory context
+    blocks are released deterministically before returning, so repeated
+    one-shot extractions never leak workers, semaphores, or ``/dev/shm``
+    segments.
+    """
+    with FRWSolver(structure, config) as solver:
+        return solver.extract(masters)

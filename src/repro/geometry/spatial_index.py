@@ -175,6 +175,23 @@ class BruteForceIndex:
         """Euclidean variant (used by the walk-on-spheres engine)."""
         return self._query(points, "l2")
 
+    def packed(self) -> tuple[dict, dict]:
+        """(scalars, arrays) split for shared-memory publication."""
+        scalars = {"kind": "brute", "chunk_budget": self.chunk_budget}
+        arrays = {"lo": self._lo, "hi": self._hi, "owner": self._owner}
+        return scalars, arrays
+
+    @classmethod
+    def from_packed(cls, scalars: dict, arrays: dict) -> "BruteForceIndex":
+        """Rebuild an index from :meth:`packed` state (worker-side attach).
+        The arrays may be read-only shared views — queries never write."""
+        self = cls.__new__(cls)
+        self._lo = arrays["lo"]
+        self._hi = arrays["hi"]
+        self._owner = arrays["owner"]
+        self.chunk_budget = int(scalars["chunk_budget"])
+        return self
+
 
 class GridIndex:
     """Uniform-grid candidate index with a distance cap and a far-field
@@ -409,6 +426,79 @@ class GridIndex:
             all_boxes = all_boxes[keep]
             counts = np.bincount(all_cells[keep], minlength=n_cells)
         return all_boxes, counts
+
+    def packed(self) -> tuple[dict, dict]:
+        """(scalars, arrays) split for shared-memory publication.
+
+        The big build products — geometry SoA, CSR lists, tier-1 bounds —
+        go in ``arrays`` (shared); the grid geometry vectors are tiny and
+        travel in ``scalars`` (pickled), preserving their exact bits.
+        """
+        scalars = {
+            "kind": "grid",
+            "h_cap": self.h_cap,
+            "far_field": self.far_field,
+            "sort_queries": self.sort_queries,
+            "bounds_resolution": self.bounds_resolution,
+            "candidates_pruned": int(self.stats.candidates_pruned),
+            "origin": self._origin,
+            "n_cells": self._n_cells,
+            "cell": self._cell,
+            "inv_cell": self._inv_cell,
+            "cell_max": self._cell_max,
+        }
+        arrays = {
+            "lo": self._lo,
+            "hi": self._hi,
+            "owner": self._owner,
+            "indptr": self._indptr,
+            "indices": self._indices,
+            "cell_dmin": self._cell_dmin,
+            "cell_dmax": self._cell_dmax,
+        }
+        return scalars, arrays
+
+    @classmethod
+    def from_packed(cls, scalars: dict, arrays: dict) -> "GridIndex":
+        """Rebuild an index from :meth:`packed` state (worker-side attach).
+
+        The packed arrays may be read-only shared views.  Derived state —
+        the far/near cell masks and the SoA axis columns — is recomputed
+        locally by the same expressions the building constructor uses, so
+        queries are bit-identical to the published index.  Stats counters
+        start fresh (each attaching process accumulates its own telemetry)
+        except the build-time ``candidates_pruned``, which is carried over.
+        """
+        self = cls.__new__(cls)
+        self.h_cap = float(scalars["h_cap"])
+        self.far_field = bool(scalars["far_field"])
+        self.sort_queries = bool(scalars["sort_queries"])
+        self.bounds_resolution = int(scalars["bounds_resolution"])
+        self.stats = QueryStats(
+            candidates_pruned=int(scalars["candidates_pruned"])
+        )
+        self._stats_lock = threading.Lock()
+        self._lo = arrays["lo"]
+        self._hi = arrays["hi"]
+        self._owner = arrays["owner"]
+        self._lo_ax = tuple(
+            np.ascontiguousarray(self._lo[:, a]) for a in range(3)
+        )
+        self._hi_ax = tuple(
+            np.ascontiguousarray(self._hi[:, a]) for a in range(3)
+        )
+        self._origin = np.asarray(scalars["origin"], dtype=np.float64)
+        self._n_cells = np.asarray(scalars["n_cells"], dtype=np.int64)
+        self._cell = np.asarray(scalars["cell"], dtype=np.float64)
+        self._inv_cell = np.asarray(scalars["inv_cell"], dtype=np.float64)
+        self._cell_max = np.asarray(scalars["cell_max"], dtype=np.int64)
+        self._indptr = arrays["indptr"]
+        self._indices = arrays["indices"]
+        self._cell_dmin = arrays["cell_dmin"]
+        self._cell_dmax = arrays["cell_dmax"]
+        self._far = self._cell_dmin >= self.h_cap
+        self._near = ~self._far
+        return self
 
     @property
     def n_far_cells(self) -> int:

@@ -73,7 +73,48 @@ class GaussianSurface:
     @property
     def n_patches(self) -> int:
         """Number of rectangular patches."""
-        return len(self.patches)
+        return int(self._axis.shape[0])
+
+    def packed(self) -> tuple[dict, dict]:
+        """Split the surface into (scalars, arrays) for shared-memory
+        publication (:mod:`repro.frw.shm`).  The arrays are exactly the
+        packed sampling state, so a surface rebuilt from them samples
+        bit-identically."""
+        scalars = {"delta": self.delta, "total_area": self.total_area}
+        arrays = {
+            "cum": self._cum,
+            "axis": self._axis,
+            "sign": self._sign,
+            "coord": self._coord,
+            "x0": self._x0,
+            "x1": self._x1,
+            "y0": self._y0,
+            "y1": self._y1,
+        }
+        return scalars, arrays
+
+    @classmethod
+    def from_packed(cls, scalars: dict, arrays: dict) -> "GaussianSurface":
+        """Rebuild a surface from :meth:`packed` state (worker-side attach).
+
+        The patch object list is not reconstructed (``patches`` is
+        ``None``): sampling uses only the packed arrays, and the builders
+        that need patch objects run in the publishing process.  The arrays
+        may be read-only shared views — sampling never writes to them.
+        """
+        self = cls.__new__(cls)
+        self.patches = None
+        self.delta = float(scalars["delta"])
+        self.total_area = float(scalars["total_area"])
+        self._cum = arrays["cum"]
+        self._axis = arrays["axis"]
+        self._sign = arrays["sign"]
+        self._coord = arrays["coord"]
+        self._x0 = arrays["x0"]
+        self._x1 = arrays["x1"]
+        self._y0 = arrays["y0"]
+        self._y1 = arrays["y1"]
+        return self
 
     def sample(
         self, u: np.ndarray

@@ -81,6 +81,35 @@ class CubeTransitionTable:
         idx = np.searchsorted(self.cdf, np.asarray(u, dtype=np.float64), side="right")
         return np.clip(idx, 0, self.n_cells - 1)
 
+    def packed(self) -> tuple[dict, dict]:
+        """(scalars, arrays) split for shared-memory publication."""
+        scalars = {"nf": int(self.nf)}
+        arrays = {
+            "cdf": self.cdf,
+            "prob": self.prob,
+            "grad_ratio": self.grad_ratio,
+            "face_axis": self.face_axis,
+            "face_side": self.face_side,
+            "cell_i": self.cell_i,
+            "cell_j": self.cell_j,
+        }
+        return scalars, arrays
+
+    @classmethod
+    def from_packed(cls, scalars: dict, arrays: dict) -> "CubeTransitionTable":
+        """Rebuild a table from :meth:`packed` state (worker-side attach).
+        The arrays may be read-only shared views — sampling never writes."""
+        return cls(
+            nf=int(scalars["nf"]),
+            cdf=arrays["cdf"],
+            prob=arrays["prob"],
+            grad_ratio=arrays["grad_ratio"],
+            face_axis=arrays["face_axis"],
+            face_side=arrays["face_side"],
+            cell_i=arrays["cell_i"],
+            cell_j=arrays["cell_j"],
+        )
+
     def unit_positions(
         self, cells: np.ndarray, jitter_a: np.ndarray, jitter_b: np.ndarray
     ) -> np.ndarray:

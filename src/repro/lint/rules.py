@@ -1,4 +1,4 @@
-"""The det-lint rule set (DET001..DET007).
+"""The det-lint rule set (DET001..DET008).
 
 Every rule is a small AST visitor over one :class:`~repro.lint.core.SourceFile`
 (DET007 additionally reads ``README.md`` / ``docs/PERFORMANCE.md`` next to the
@@ -626,6 +626,44 @@ def det007_config_coverage(rule: Rule, src: SourceFile) -> Iterator[Finding]:
             )
 
 
+# ----------------------------------------------------------------------
+# DET008 — raw SharedMemory use outside the context plane
+# ----------------------------------------------------------------------
+#: The one module allowed to construct raw shared-memory segments.
+_SHM_MODULE = "repro.frw.shm"
+_SHM_CTORS = (
+    "multiprocessing.shared_memory.SharedMemory",
+    "multiprocessing.shared_memory.ShareableList",
+    "shared_memory.SharedMemory",
+    "shared_memory.ShareableList",
+)
+
+
+@_make("DET008", "raw SharedMemory use outside repro.frw.shm")
+def det008_raw_shared_memory(rule: Rule, src: SourceFile) -> Iterator[Finding]:
+    """Raw ``multiprocessing.shared_memory`` segments bypass the context
+    plane's ownership protocol: blocks constructed elsewhere have no
+    manifest, no content hash, no read-only discipline, and no
+    unlink-exactly-once owner — a recipe for leaked ``/dev/shm`` segments
+    and silently torn reads.  All shared-memory traffic must go through
+    :func:`repro.frw.shm.publish_context` / ``attach_context``."""
+    if src.module == _SHM_MODULE:
+        return
+    imports = _Imports(src.tree)
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = imports.canonical(node.func)
+        if name in _SHM_CTORS:
+            yield rule.finding(
+                src,
+                node,
+                f"raw {name.rsplit('.', 1)[-1]} constructed outside "
+                f"{_SHM_MODULE} — publish/attach through repro.frw.shm so "
+                "blocks carry a manifest and are unlinked exactly once",
+            )
+
+
 #: The registry, in rule-id order.  ``lint_file`` runs all of these unless
 #: given an explicit subset.
 ALL_RULES: tuple[Rule, ...] = (
@@ -636,6 +674,7 @@ ALL_RULES: tuple[Rule, ...] = (
     det005_naive_accumulation,
     det006_executor_races,
     det007_config_coverage,
+    det008_raw_shared_memory,
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}

@@ -8,7 +8,9 @@ scheduling.  Every engine entry point must reproduce them bit-for-bit:
 * the plain batch engine (``run_walks``),
 * the refill pipeline (``run_walks_pipelined``), pipelined and not,
 * thread-parallel chunked execution for ``n_workers`` in {1, 2, 4},
-* process-parallel execution (fork backend).
+* process-parallel execution over the shared-memory context plane, both
+  ``fork`` and ``spawn`` start methods (spawn workers inherit nothing, so
+  byte-equality proves the manifest protocol is complete).
 
 Two geometries are covered: a homogeneous-dielectric case and a stratified
 case whose walks take interface-snapped hemisphere steps (asserted, not
@@ -159,6 +161,17 @@ def test_thread_parallel_matches_golden(golden_case, n_workers):
 def test_process_parallel_matches_golden(golden_case, n_workers):
     case, ctx, uids = golden_case
     res = run_walks_processes(ctx, SEED, 0, uids, n_workers=n_workers)
+    _check(case, res)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_spawn_parallel_matches_golden(golden_case, n_workers):
+    """Spawn workers inherit nothing: the golden bytes coming back prove
+    the shared-memory manifest protocol carries the whole context."""
+    case, ctx, uids = golden_case
+    res = run_walks_processes(
+        ctx, SEED, 0, uids, n_workers=n_workers, start_method="spawn"
+    )
     _check(case, res)
 
 

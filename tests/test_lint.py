@@ -50,7 +50,7 @@ def test_module_name_for():
 
 
 def test_rule_registry_complete():
-    assert [r.id for r in ALL_RULES] == [f"DET00{i}" for i in range(1, 8)]
+    assert [r.id for r in ALL_RULES] == [f"DET00{i}" for i in range(1, 9)]
     assert all(r.title for r in ALL_RULES)
 
 
@@ -523,6 +523,53 @@ def test_det007_suppressed(tmp_path):
     path = write(tmp_path, "src/repro/config.py", src)
     findings = lint_file(path, rules=[RULES_BY_ID["DET007"]], root=tmp_path)
     assert error_rules(findings) == []
+
+
+# ----------------------------------------------------------------------
+# DET008 — raw SharedMemory use outside repro.frw.shm
+# ----------------------------------------------------------------------
+DET008_POSITIVE = """\
+from multiprocessing.shared_memory import SharedMemory
+
+def grab():
+    return SharedMemory(name="blk", create=True, size=64)
+"""
+
+
+def test_det008_flags_raw_shared_memory(tmp_path):
+    findings = run_rule(tmp_path, "src/repro/frw/x.py", DET008_POSITIVE, "DET008")
+    assert error_rules(findings) == ["DET008"]
+    assert "repro.frw.shm" in findings[0].message
+
+
+def test_det008_flags_module_qualified_and_shareablelist(tmp_path):
+    src = (
+        "import multiprocessing.shared_memory\n"
+        "from multiprocessing import shared_memory\n\n"
+        "def grab():\n"
+        "    a = multiprocessing.shared_memory.SharedMemory(name='x')\n"
+        "    b = shared_memory.ShareableList([1, 2])\n"
+        "    return a, b\n"
+    )
+    findings = run_rule(tmp_path, "src/repro/frw/x.py", src, "DET008")
+    assert error_rules(findings) == ["DET008", "DET008"]
+
+
+def test_det008_allows_the_shm_module_itself(tmp_path):
+    findings = run_rule(
+        tmp_path, "src/repro/frw/shm.py", DET008_POSITIVE, "DET008"
+    )
+    assert error_rules(findings) == []
+
+
+def test_det008_suppressed(tmp_path):
+    src = DET008_POSITIVE.replace(
+        'size=64)',
+        f'size=64)  {ALLOW}(DET008) isolated probe segment in a demo',
+    )
+    findings = run_rule(tmp_path, "src/repro/frw/x.py", src, "DET008")
+    assert error_rules(findings) == []
+
 
 
 # ----------------------------------------------------------------------

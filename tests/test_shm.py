@@ -1,0 +1,137 @@
+"""Tests for the shared-memory context plane (``repro.frw.shm``).
+
+The plane's contract: ``publish_context`` turns an ``ExtractionContext``
+into one shared block plus a small picklable manifest; ``attach_context``
+rebuilds a context from the manifest whose walk results are *bit-identical*
+to the original's; the publisher unlinks each block exactly once.  These
+tests exercise the whole lifecycle in-process (cross-process coverage
+lives in ``test_parallel.py`` / ``test_engine_golden.py`` via the spawn
+backend, which has no way to cheat — nothing is inherited).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FRWConfig
+from repro.errors import DeterminismError
+from repro.frw import build_context, run_walks
+from repro.frw import shm
+from repro.rng import WalkStreams
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane():
+    """Every test starts and ends with an empty context plane."""
+    shm.release_all()
+    yield
+    shm.release_all()
+
+
+def _publish(structure, seed=77, master=0):
+    cfg = FRWConfig.frw_r(seed=seed)
+    ctx = build_context(structure, master, cfg)
+    manifest = shm.publish_context(ctx, ("philox", seed, master))
+    return cfg, ctx, manifest
+
+
+def test_roundtrip_is_bit_identical(plates):
+    cfg, ctx, manifest = _publish(plates)
+    # The manifest must survive a pickle hop — that is how it reaches
+    # spawn workers, which inherit nothing.
+    manifest = pickle.loads(pickle.dumps(manifest))
+    attached = shm.attach_context(manifest)
+    uids = np.arange(800, dtype=np.uint64)
+    ref = run_walks(ctx, WalkStreams(77, 0), uids)
+    res = run_walks(attached, WalkStreams(77, 0), uids)
+    assert np.array_equal(ref.omega, res.omega)
+    assert np.array_equal(ref.dest, res.dest)
+    assert np.array_equal(ref.steps, res.steps)
+    assert ref.truncated == res.truncated
+
+
+def test_roundtrip_stratified(layered_wires):
+    """Interface-snapped hemisphere steps go through the dielectric stack
+    and the grid index's derived state — both travel via the manifest."""
+    cfg, ctx, manifest = _publish(layered_wires, seed=11)
+    attached = shm.attach_context(pickle.loads(pickle.dumps(manifest)))
+    uids = np.arange(400, dtype=np.uint64)
+    ref = run_walks(ctx, WalkStreams(11, 0), uids)
+    res = run_walks(attached, WalkStreams(11, 0), uids)
+    assert np.array_equal(ref.omega, res.omega)
+    assert np.array_equal(ref.dest, res.dest)
+
+
+def test_attached_context_mirrors_scalars(plates):
+    cfg, ctx, manifest = _publish(plates, master=1)
+    attached = shm.attach_context(manifest)
+    assert attached.master == ctx.master
+    assert attached.n_conductors == ctx.n_conductors
+    assert attached.enclosure_index == ctx.enclosure_index
+    assert attached.h_cap == ctx.h_cap
+    assert attached.absorb_tol == ctx.absorb_tol
+    assert attached.flux_scale == ctx.flux_scale
+    assert attached.config == ctx.config
+    assert attached.structure.dielectric == ctx.structure.dielectric
+    assert len(attached.structure.conductors) == len(ctx.structure.conductors)
+
+
+def test_attach_is_cached_per_block(plates):
+    _, _, manifest = _publish(plates)
+    before = shm.attach_count()
+    a = shm.attach_context(manifest)
+    b = shm.attach_context(pickle.loads(pickle.dumps(manifest)))
+    assert a is b  # same block name -> one mapping, one context
+    assert shm.attach_count() == before + 1
+
+
+def test_attached_views_are_read_only(plates):
+    _, _, manifest = _publish(plates)
+    attached = shm.attach_context(manifest)
+    with pytest.raises((ValueError, RuntimeError)):
+        attached.index._indptr[0] = 1
+    with pytest.raises((ValueError, RuntimeError)):
+        attached.table.cdf[0, 0] = 0.5
+
+
+def test_content_hash_detects_corruption(plates):
+    _, _, manifest = _publish(plates)
+    bad = shm.ContextManifest(
+        block=manifest.block,
+        nbytes=manifest.nbytes,
+        arrays=manifest.arrays,
+        meta=manifest.meta,
+        spec=manifest.spec,
+        content_hash="0" * 32,
+    )
+    with pytest.raises(DeterminismError):
+        shm.attach_context(bad)
+
+
+def test_publish_release_lifecycle(plates):
+    assert shm.published_blocks() == []
+    _, _, m1 = _publish(plates, master=0)
+    _, _, m2 = _publish(plates, master=1)
+    assert shm.published_blocks() == sorted([m1.block, m2.block])
+    shm.release_manifest(m1)
+    assert shm.published_blocks() == [m2.block]
+    shm.release_manifest(m1)  # idempotent
+    shm.release_all()
+    assert shm.published_blocks() == []
+
+
+def test_released_block_cannot_be_attached_fresh(plates):
+    _, _, manifest = _publish(plates)
+    shm.release_manifest(manifest)
+    with pytest.raises(FileNotFoundError):
+        shm.attach_context(manifest)
+
+
+def test_manifest_is_small(plates):
+    """Steady-state dispatch ships (manifest, uids) — the manifest must
+    stay orders of magnitude below the arrays it describes."""
+    _, _, manifest = _publish(plates)
+    wire = pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+    assert len(wire) < 8192
+    assert manifest.nbytes > 10 * len(wire)
