@@ -35,6 +35,21 @@ serial rows; the walks/sec ratio is recorded honestly — on a single-core
 host the process backend *loses* to serial (pure dispatch overhead, no
 parallel speedup), and the trajectory says so.
 
+With ``--walks-to-tolerance`` the entry additionally records a
+**walks_to_tolerance** section: the same bus extraction driven to a fixed
+``Err_cap`` target with antithetic sampling off and on (group 2, depth 1
+— the headline configuration), recording walks and wall seconds for each
+and the walk-reduction ratio.  Both runs are asserted unsaturated (the
+stopping rule, not ``max_walks``, must end them — a saturated comparison
+would be meaningless) and a ``::warning::`` annotation is emitted when
+the walk reduction drops below 1.2x so CI flags a variance-reduction
+regression without failing on noisy runner timing.
+
+Every entry carries a ``host_cpus`` field (the CPUs this process may
+actually run on — affinity/cgroup aware), so scaling numbers recorded on
+1-CPU hosts (like PR 6's 0.62x ``process_w4``) are self-describing in
+the trajectory.
+
 The output file is a *trajectory*: every invocation appends a timestamped
 entry (git revision, host info) to the ``runs`` list, so the perf history
 is tracked across PRs.
@@ -42,6 +57,7 @@ is tracked across PRs.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_extract.py [-o BENCH_extract.json]
+        [--walks-to-tolerance]
 """
 
 from __future__ import annotations
@@ -181,6 +197,85 @@ def run_worker_scaling(structure: Structure, process_workers: int):
     return entries
 
 
+#: walks-to-tolerance section parameters: the target must be *reachable*
+#: well inside the walk cap, otherwise both runs saturate at max_walks and
+#: the comparison measures nothing.
+TOL_TARGET = 3e-2
+TOL_MAX_WALKS = 262144
+TOL_BATCH = 512
+
+
+def run_walks_to_tolerance(structure: Structure) -> dict:
+    """Walks and wall time to a fixed ``Err_cap``, antithetic off vs on.
+
+    Runs serially (walk counts are executor-invariant, and serial timing
+    is the least noisy on shared runners).  Asserts neither run saturated
+    ``max_walks``; emits a ``::warning::`` annotation if the walk
+    reduction falls below 1.2x.
+    """
+    entries = {}
+    for name, overrides in [
+        ("antithetic_off", {}),
+        ("antithetic_on", {"antithetic": True}),
+    ]:
+        cfg = _config(**overrides).with_(
+            batch_size=TOL_BATCH,
+            min_walks=2 * TOL_BATCH,
+            max_walks=TOL_MAX_WALKS,
+            tolerance=TOL_TARGET,
+            executor="serial",
+        )
+        with FRWSolver(structure, cfg) as solver:
+            t0 = time.perf_counter()
+            res = solver.extract()
+            secs = time.perf_counter() - t0
+        assert res.converged, (
+            f"{name} saturated max_walks={TOL_MAX_WALKS} before reaching "
+            f"Err_cap={TOL_TARGET}; raise the cap or loosen the target"
+        )
+        entry = {
+            "walks": res.total_walks,
+            "seconds": round(secs, 6),
+            "err_cap": round(
+                max(r.self_relative_error for r in res.rows), 6
+            ),
+            "converged": res.converged,
+        }
+        if overrides:
+            entry["group"] = cfg.antithetic_group
+            entry["depth"] = cfg.antithetic_depth
+        entries[name] = entry
+        print(
+            f"{'tolerance ' + name:22s} {secs * 1e3:9.1f} ms   "
+            f"{res.total_walks:>8d} walks to Err_cap {TOL_TARGET:g}"
+        )
+
+    off, on = entries["antithetic_off"], entries["antithetic_on"]
+    entries["tolerance"] = TOL_TARGET
+    entries["walk_reduction"] = round(off["walks"] / on["walks"], 3)
+    entries["time_reduction"] = round(off["seconds"] / on["seconds"], 3)
+    print(
+        f"walks-to-tolerance reduction: {entries['walk_reduction']}x walks, "
+        f"{entries['time_reduction']}x wall time"
+    )
+    if entries["walk_reduction"] < 1.2:
+        print(
+            "::warning::antithetic walk reduction "
+            f"{entries['walk_reduction']}x is below the 1.2x floor "
+            f"({off['walks']} -> {on['walks']} walks at "
+            f"Err_cap {TOL_TARGET:g})"
+        )
+    return entries
+
+
+def _host_cpus() -> int:
+    """CPUs this process may run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux host
+        return os.cpu_count() or 1
+
+
 def _git_rev() -> str:
     try:
         return (
@@ -227,6 +322,12 @@ def main() -> None:
         default=N_WORKERS,
         help="worker count for the worker-scaling process-backend run",
     )
+    parser.add_argument(
+        "--walks-to-tolerance",
+        action="store_true",
+        help="also record the walks-to-tolerance section "
+        "(antithetic off vs on at a fixed Err_cap target)",
+    )
     args = parser.parse_args()
 
     structure = build_bus(args.wires)
@@ -249,6 +350,10 @@ def main() -> None:
     print("all schedules bit-identical to serial-masters rows")
 
     scaling = run_worker_scaling(structure, args.process_workers)
+
+    tolerance_section = None
+    if args.walks_to_tolerance:
+        tolerance_section = run_walks_to_tolerance(structure)
 
     speedups = {
         "interleaved_vs_serial_masters": round(
@@ -275,11 +380,14 @@ def main() -> None:
             "machine": platform.machine(),
             "python": platform.python_version(),
         },
+        "host_cpus": _host_cpus(),
         "results": results,
         "worker_scaling": scaling,
         "speedups": speedups,
         "bit_identical": True,
     }
+    if tolerance_section is not None:
+        entry["walks_to_tolerance"] = tolerance_section
     trajectory["runs"].append(entry)
     with open(args.output, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=True)

@@ -178,6 +178,40 @@ class FRWConfig:
         registered/shipped) per scheduler wave; 0 = auto.  Large master
         sets are admitted in waves so context registration is lazy but
         batched — one pool restart per wave instead of per master.
+    antithetic:
+        Generalized antithetic sampling (variance reduction): walk UIDs
+        are grouped in aligned blocks of ``antithetic_group`` consecutive
+        UIDs; the first UID of each group is the *primary* and the rest
+        are partners whose hop-direction draws are fixed
+        reflections/rotations of the primary's Philox words
+        (:class:`repro.rng.MirroredDraws`).  Partners launch from the
+        primary's Gaussian-surface point and take mirrored first hops, so
+        their flux weights are negatively correlated and fewer walks
+        reach a given tolerance.  Estimation switches to per-group means
+        (unbiased mean *and* variance under the intra-group correlation),
+        and the stopping rule consumes the group-mean standard error.
+        Because partners are a pure function of ``(seed, primary uid,
+        partner index, step, slot)``, bit-identity across backends,
+        worker counts, and start methods holds exactly as without the
+        flag.  Requires ``rng="philox"`` (partners re-read the primary's
+        counter words; the stateful MT ablation streams cannot express
+        that), a ``batch_size`` divisible by ``antithetic_group``, and a
+        variant other than ``alg1``.  Off by default; ``min_walks`` /
+        ``max_walks`` keep counting raw walks (groups × group size).
+    antithetic_group:
+        Walks per antithetic group (2-8): 2 is the classic reflected
+        pair ``u -> 1 - u``; 4 adds the half-rotated pair (dihedral
+        set).  Larger groups buy smoother first-hop stratification but
+        dilute the per-partner anticorrelation; 2 is the sweet spot on
+        the bus benchmarks (see PERFORMANCE.md layer 7).
+    antithetic_depth:
+        Walk steps (1-64, counting from the first hop) whose draws are
+        mirrored; beyond this depth partners reuse the primary's words
+        untransformed (common random numbers).  Depth 1 mirrors only the
+        first hop — the step that dominates the flux-weight sign — and
+        is the default; deeper mirroring keeps diverged paths
+        anticorrelated slightly longer at no extra cost, but the effect
+        fades once geometry decorrelates the paths.
     sanitize:
         Arm the runtime RNG sanitizer
         (:func:`repro.lint.sanitizer.forbid_global_rng`) for the duration
@@ -225,6 +259,9 @@ class FRWConfig:
     far_field: bool = True
     sort_queries: bool = True
     bounds_resolution: int = 2
+    antithetic: bool = False
+    antithetic_group: int = 2
+    antithetic_depth: int = 1
     sanitize: bool = False
 
     def __post_init__(self) -> None:
@@ -344,6 +381,43 @@ class FRWConfig:
                 f"bounds_resolution must be in [1, 8], got "
                 f"{self.bounds_resolution}"
             )
+        if not (2 <= self.antithetic_group <= 8):
+            raise ConfigError(
+                f"antithetic_group must be in [2, 8], got "
+                f"{self.antithetic_group}"
+            )
+        if not (1 <= self.antithetic_depth <= 64):
+            raise ConfigError(
+                f"antithetic_depth must be in [1, 64], got "
+                f"{self.antithetic_depth}"
+            )
+        if self.antithetic:
+            if self.rng != "philox":
+                # Partners re-read the primary's counter words; the
+                # stateful MT ablation streams consume sequentially and
+                # cannot express shared draws.
+                raise ConfigError(
+                    "antithetic requires rng='philox', got "
+                    f"{self.rng!r}"
+                )
+            if self.variant == "alg1":
+                raise ConfigError(
+                    "antithetic requires the reproducible variants; "
+                    "alg1 has no per-walk UID streams to mirror"
+                )
+            if self.batch_size % self.antithetic_group != 0:
+                # Groups are aligned UID blocks; a batch boundary inside
+                # a group would split it across checkpoints.
+                raise ConfigError(
+                    f"batch_size ({self.batch_size}) must be a multiple "
+                    f"of antithetic_group ({self.antithetic_group})"
+                )
+            if self.min_walks < 2 * self.antithetic_group:
+                raise ConfigError(
+                    "min_walks must cover at least two antithetic "
+                    f"groups ({2 * self.antithetic_group}), got "
+                    f"{self.min_walks}"
+                )
 
     # ------------------------------------------------------------------
     # Named variant constructors

@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import FRWConfig
-from ..rng import MTWalkStreams, WalkStreams, seeded_generator, splitmix64
+from ..rng import (
+    MirroredDraws,
+    MTWalkStreams,
+    WalkStreams,
+    seeded_generator,
+    splitmix64,
+)
 from .context import ExtractionContext, build_context
 from .estimator import CapacitanceRow, RowAccumulator
 from .parallel import PersistentExecutor, make_batch_runner
@@ -79,7 +85,14 @@ def make_streams(config: FRWConfig, master: int):
     """
     if config.rng == "mt":
         return MTWalkStreams(config.seed, stream=master)
-    return WalkStreams(config.seed, stream=master)
+    streams = WalkStreams(config.seed, stream=master)
+    if config.antithetic:
+        # Antithetic partners re-read their primary's counter words
+        # through a mirroring view; config validation guarantees philox.
+        streams = MirroredDraws(
+            streams, config.antithetic_group, config.antithetic_depth
+        )
+    return streams
 
 
 def machine_rng(config: FRWConfig, master: int) -> np.random.Generator:
@@ -106,7 +119,10 @@ class RowProgress:
         self.ctx = ctx
         self.cfg = cfg
         self.acc = RowAccumulator(
-            ctx.n_conductors, ctx.master, summation=cfg.summation
+            ctx.n_conductors,
+            ctx.master,
+            summation=cfg.summation,
+            group_size=cfg.antithetic_group if cfg.antithetic else 1,
         )
         self.rng_machine = machine_rng(cfg, ctx.master)
         self.stats = RunStats(thread_work=np.zeros(cfg.n_threads))
@@ -131,7 +147,16 @@ class RowProgress:
             results.steps, self.rng_machine, cfg.scheduler_jitter
         )
         schedule = simulate_dynamic_queue(durations, cfg.n_threads)
-        if cfg.deterministic_merge:
+        if cfg.antithetic:
+            # Group-mean accumulation needs whole UID-aligned groups, so
+            # it always consumes the batch in UID order regardless of
+            # deterministic_merge (the virtual-thread replay would split
+            # groups across simulated threads); the schedule still feeds
+            # the Fig. 5 load-balance model.  Batches are whole multiples
+            # of the group (batch_size % antithetic_group == 0, enforced
+            # at config validation), so groups never straddle a batch.
+            acc.add_group_batch(results.omega, results.dest, results.steps)
+        elif cfg.deterministic_merge:
             # Extension: accumulate in walk-ID order for guaranteed
             # bitwise reproducibility; the schedule still feeds the
             # Fig. 5 model.

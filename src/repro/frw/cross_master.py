@@ -105,12 +105,19 @@ class _MasterRun:
             # batches past the stopping rule are never computed.
             self.key = None
             streams = streams_from_spec(spec)
+            group = cfg.antithetic_group if cfg.antithetic else 1
             if cfg.pipeline:
                 self.runner = PipelinedBatchRunner(
-                    ctx, streams, cfg.batch_size, cfg.pipeline_lookahead
+                    ctx,
+                    streams,
+                    cfg.batch_size,
+                    cfg.pipeline_lookahead,
+                    group=group,
                 )
             else:
-                self.runner = SerialBatchRunner(ctx, streams, cfg.batch_size)
+                self.runner = SerialBatchRunner(
+                    ctx, streams, cfg.batch_size, group=group
+                )
 
     def dispatch_next(self, max_chunks: int | None = None) -> None:
         """Put this master's next batch in flight (UIDs are fixed by the

@@ -258,6 +258,16 @@ class WalkPipeline:
         omitted.  Must not be shared with a concurrently running pipeline.
     timers:
         Optional :class:`StageTimers` accumulating per-stage wall time.
+    group:
+        Antithetic group size; refills are rounded down to whole groups so
+        a primary and its mirrored partners launch in the same vector call
+        (they share one step-0 draw block and launch point, and their
+        anticorrelated first hops are evaluated together).  Purely a
+        scheduling preference — walk values are keyed by ``(uid, step)``
+        and never depend on co-scheduling — so results are bit-identical
+        at any ``group``, and the alignment is waived rather than
+        deadlocking when the arena is empty or a batch tail is shorter
+        than a group.
     """
 
     def __init__(
@@ -270,12 +280,14 @@ class WalkPipeline:
         trace: list | None = None,
         workspace: ArenaWorkspace | None = None,
         timers: StageTimers | None = None,
+        group: int = 1,
     ):
         self.ctx = ctx
         self.streams = streams
         self.feed = feed
         self.width = max(1, int(width))
         self.lookahead = max(0, int(lookahead))
+        self.group = max(1, int(group))
         self.trace = trace
         self._timers = timers
         self._stack = ctx.structure.dielectric
@@ -389,7 +401,20 @@ class WalkPipeline:
         launched = False
         while self._n < self.width and self._ensure_pending():
             off = self._pending_off
-            take = min(self.width - self._n, self._pending.shape[0] - off)
+            remaining = self._pending.shape[0] - off
+            take = min(self.width - self._n, remaining)
+            if self.group > 1 and take < remaining:
+                # Keep groups launching together: round the take down to
+                # whole groups (a take that drains the batch is already
+                # aligned when the feed is group-sized, and is allowed
+                # regardless so odd batch tails cannot wedge the feed).
+                aligned = take - take % self.group
+                if aligned == 0 and self._n > 0:
+                    # Fewer free slots than a group while walks are in
+                    # flight: let retires free a whole group's worth.
+                    break
+                if aligned > 0:
+                    take = aligned
             uids = self._pending[off : off + take]
             self._pending_off = off + take
             self._launch(uids, self._pending_start_g, off)
@@ -818,6 +843,7 @@ def run_walks_pipelined(
     width: int,
     lookahead: int = 1,
     timers: StageTimers | None = None,
+    group: int = 1,
 ) -> WalkResults:
     """Run a fixed UID set through the refill pipeline in ``width``-sized
     batches, reassembling per-batch results in UID order.
@@ -836,7 +862,13 @@ def run_walks_pipelined(
         return uids[batch_index * width : (batch_index + 1) * width]
 
     pipe = WalkPipeline(
-        ctx, streams, feed, width=width, lookahead=lookahead, timers=timers
+        ctx,
+        streams,
+        feed,
+        width=width,
+        lookahead=lookahead,
+        timers=timers,
+        group=group,
     )
     parts = []
     for _ in range(n_batches):

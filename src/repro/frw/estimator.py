@@ -8,6 +8,22 @@ the total walk count ``M`` and the variance of each mean follows Eq. (9).
 
 The summation backend is pluggable (Kahan or naive) because the paper's
 FRW-NK ablation differs from FRW-R exactly here.
+
+**Antithetic (grouped) accumulation.**  With ``group_size > 1`` the
+accumulator switches to per-group means: walks arrive in UID order as
+aligned groups of ``group_size`` antithetically coupled partners, and what
+enters the sum/sum-of-squares registers is each group's *mean* weight
+vector, not the raw per-walk weights.  The mean estimate is algebraically
+unchanged (mean of complete group means == raw mean), but the variance
+must be computed over group means: walks inside a group are deliberately
+anticorrelated, so the raw per-walk sample variance over-counts the
+information and Eq. (9) applied to it would be *biased* (it would report
+the variance an independent sample of the same size would have, hiding the
+antithetic gain from the stopping rule — and from Alg. 3's regularizer).
+Treating each group mean as one i.i.d. observation (they are: disjoint UID
+blocks, independent Philox words) restores the textbook unbiased variance
+of the mean with ``m = number of groups``; this is the merged mean/variance
+algebra of Healy (PAPERS.md) applied at group granularity.
 """
 
 from __future__ import annotations
@@ -17,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigError
 from ..numerics.summation import KahanVector, NaiveVector
 
 
@@ -50,13 +67,30 @@ class CapacitanceRow:
 
 
 class RowAccumulator:
-    """Streaming accumulator for one master conductor's row."""
+    """Streaming accumulator for one master conductor's row.
 
-    def __init__(self, n_conductors: int, master: int, summation: str = "kahan"):
+    With ``group_size > 1`` the sum registers hold sums of *group means*
+    (see the module docstring); ``walks`` always counts raw walks, and
+    sample counts for mean/variance use ``walks // group_size`` complete
+    groups.  Grouped accumulation happens only through
+    :meth:`add_group_batch`; the per-walk paths refuse to run grouped so
+    the two bookkeeping schemes can never silently mix.
+    """
+
+    def __init__(
+        self,
+        n_conductors: int,
+        master: int,
+        summation: str = "kahan",
+        group_size: int = 1,
+    ):
+        if group_size < 1:
+            raise ConfigError(f"group_size must be >= 1, got {group_size}")
         vector_cls = KahanVector if summation == "kahan" else NaiveVector
         self.master = master
         self.n_conductors = n_conductors
         self.summation = summation
+        self.group_size = int(group_size)
         self.sum_w = vector_cls(n_conductors)
         self.sum_w2 = vector_cls(n_conductors)
         self.hits = np.zeros(n_conductors, dtype=np.int64)
@@ -65,10 +99,21 @@ class RowAccumulator:
 
     def spawn(self) -> "RowAccumulator":
         """A fresh accumulator with the same configuration (thread-local)."""
-        return RowAccumulator(self.n_conductors, self.master, self.summation)
+        return RowAccumulator(
+            self.n_conductors, self.master, self.summation, self.group_size
+        )
+
+    def _require_ungrouped(self, caller: str) -> None:
+        if self.group_size != 1:
+            raise ConfigError(
+                f"{caller} accumulates raw per-walk weights; a grouped "
+                f"accumulator (group_size={self.group_size}) must use "
+                "add_group_batch so sum registers stay in group-mean units"
+            )
 
     def add_walk(self, omega: float, dest: int, steps: int = 0) -> None:
         """Accumulate a single walk (scalar hot path of the simulator)."""
+        self._require_ungrouped("add_walk")
         self.sum_w.add_at(dest, omega)
         self.sum_w2.add_at(dest, omega * omega)
         self.hits[dest] += 1
@@ -86,8 +131,10 @@ class RowAccumulator:
         the per-walk Python call overhead.  This is the hot path of the
         virtual-thread merge replay.
         """
+        self._require_ungrouped("add_walks_ordered")
         omega = np.asarray(omega, dtype=np.float64)
         dest = np.asarray(dest, dtype=np.int64)
+        self._check_batch(omega, dest)
         self.sum_w.add_ordered(dest, omega)
         self.sum_w2.add_ordered(dest, omega * omega)
         np.add.at(self.hits, dest, 1)
@@ -105,8 +152,10 @@ class RowAccumulator:
         compensated accumulator, so the result is independent of how walks
         were scheduled — provided callers pass walks in UID order.
         """
+        self._require_ungrouped("add_batch")
         omega = np.asarray(omega, dtype=np.float64)
         dest = np.asarray(dest, dtype=np.int64)
+        self._check_batch(omega, dest)
         part_w = np.zeros(self.n_conductors, dtype=np.float64)
         part_w2 = np.zeros(self.n_conductors, dtype=np.float64)
         np.add.at(part_w, dest, omega)
@@ -118,17 +167,114 @@ class RowAccumulator:
         if steps is not None:
             self.total_steps += int(np.sum(steps))
 
+    def add_group_batch(
+        self, omega: np.ndarray, dest: np.ndarray, steps: np.ndarray | None = None
+    ) -> None:
+        """Accumulate a UID-ordered batch of complete antithetic groups.
+
+        ``omega``/``dest`` must cover whole groups: element ``g *
+        group_size + k`` is partner ``k`` of group ``g``.  Each group's
+        mean weight vector (its weight on each destination, divided by
+        ``group_size``) enters the compensated accumulators as one
+        observation; ``hits``/``walks``/``total_steps`` keep raw per-walk
+        counts.  Like :meth:`add_batch` the partial sums are formed with
+        ``np.add.at`` over the input order, so the result depends only on
+        the UID order — not the schedule that produced the batch.
+        """
+        g = self.group_size
+        if g < 2:
+            raise ConfigError(
+                "add_group_batch requires a grouped accumulator "
+                f"(group_size >= 2), got group_size={g}"
+            )
+        omega = np.asarray(omega, dtype=np.float64)
+        dest = np.asarray(dest, dtype=np.int64)
+        self._check_batch(omega, dest)
+        n = dest.shape[0]
+        if n % g != 0:
+            raise ConfigError(
+                f"add_group_batch needs whole groups: {n} walks is not a "
+                f"multiple of group_size {g}"
+            )
+        n_groups = n // g
+        gm = np.zeros((n_groups, self.n_conductors), dtype=np.float64)
+        rows = np.repeat(np.arange(n_groups, dtype=np.int64), g)
+        np.add.at(gm, (rows, dest), omega)
+        gm /= g
+        self.sum_w.add(gm.sum(axis=0))
+        self.sum_w2.add((gm * gm).sum(axis=0))
+        np.add.at(self.hits, dest, 1)
+        self.walks += int(n)
+        if steps is not None:
+            self.total_steps += int(np.sum(steps))
+
     def merge(self, other: "RowAccumulator") -> None:
-        """Absorb another accumulator (e.g. a thread-local partial)."""
+        """Absorb another accumulator (e.g. a thread-local partial).
+
+        Both sides must agree on the full accumulator configuration —
+        summation mode, conductor count, master, and group size.  Mixing
+        (say) a Kahan global with a naive partial, or raw-walk sums with
+        group-mean sums, would silently corrupt the registers; it now
+        raises :class:`~repro.errors.ConfigError` instead.
+        """
+        if not isinstance(other, RowAccumulator):
+            raise ConfigError(
+                f"merge expects a RowAccumulator, got {type(other).__name__}"
+            )
+        if other.summation != self.summation:
+            raise ConfigError(
+                f"merge: summation mode mismatch ({self.summation!r} vs "
+                f"{other.summation!r})"
+            )
+        if other.n_conductors != self.n_conductors:
+            raise ConfigError(
+                f"merge: conductor count mismatch ({self.n_conductors} vs "
+                f"{other.n_conductors})"
+            )
+        if other.master != self.master:
+            raise ConfigError(
+                f"merge: master mismatch ({self.master} vs {other.master})"
+            )
+        if other.group_size != self.group_size:
+            raise ConfigError(
+                f"merge: group_size mismatch ({self.group_size} vs "
+                f"{other.group_size})"
+            )
         self.sum_w.merge(other.sum_w)
         self.sum_w2.merge(other.sum_w2)
         self.hits += other.hits
         self.walks += other.walks
         self.total_steps += other.total_steps
 
+    def _check_batch(self, omega: np.ndarray, dest: np.ndarray) -> None:
+        if omega.shape[0] != dest.shape[0]:
+            raise ConfigError(
+                f"omega/dest length mismatch: {omega.shape[0]} vs "
+                f"{dest.shape[0]}"
+            )
+        if dest.shape[0] and (
+            int(dest.min()) < 0 or int(dest.max()) >= self.n_conductors
+        ):
+            raise ConfigError(
+                f"dest indices out of range for {self.n_conductors} "
+                "conductors"
+            )
+
+    @property
+    def samples(self) -> int:
+        """Independent observations held: groups if grouped, else walks."""
+        return self.walks // self.group_size
+
     def row(self) -> CapacitanceRow:
-        """Current estimates as a :class:`CapacitanceRow`."""
-        m = self.walks
+        """Current estimates as a :class:`CapacitanceRow`.
+
+        Grouped accumulators divide by the group count (the registers
+        hold group-mean sums — the resulting mean equals the raw walk
+        mean) and report the unbiased variance *of the group means*,
+        which is what the stopping rule and Alg. 3 must consume under
+        antithetic coupling.
+        """
+        m = self.samples
         sum_w = self.sum_w.value
         sum_w2 = self.sum_w2.value
         if m == 0:
@@ -146,14 +292,14 @@ class RowAccumulator:
             values=values,
             sigma2=sigma2,
             hits=self.hits.copy(),
-            walks=m,
+            walks=self.walks,
             total_steps=self.total_steps,
         )
 
     @property
     def self_relative_error(self) -> float:
         """Relative standard error of the diagonal entry, cheaply."""
-        m = self.walks
+        m = self.samples
         if m < 2:
             return math.inf
         sw = self.sum_w.value[self.master]

@@ -65,24 +65,40 @@ from .engine import StageTimers, WalkPipeline, WalkResults, run_walks
 #: A stream spec is ``(rng_kind, seed, stream)`` — enough to rebuild a
 #: per-walk stream provider anywhere (in a worker thread or a forked
 #: process), which is what makes "any worker can evaluate any walk" real.
+#: Antithetic configs extend it to ``(rng_kind, seed, stream, group,
+#: depth)``; the 3-tuple form is kept for antithetic-off configs so their
+#: dispatch payloads and worker caches stay byte-identical to before.
 StreamSpec = tuple
 
 
 def stream_spec(config: FRWConfig, master: int) -> StreamSpec:
     """The stream spec of one master under a config (domain-separated)."""
+    if config.antithetic:
+        return (
+            config.rng,
+            config.seed,
+            master,
+            config.antithetic_group,
+            config.antithetic_depth,
+        )
     return (config.rng, config.seed, master)
 
 
 def streams_from_spec(spec: StreamSpec):
     """Build a fresh per-walk stream provider from a spec."""
-    kind, seed, stream = spec
+    kind, seed, stream = spec[:3]
     if kind == "mt":
         from ..rng import MTWalkStreams
 
         return MTWalkStreams(seed, stream)
     from ..rng import WalkStreams
 
-    return WalkStreams(seed, stream)
+    streams = WalkStreams(seed, stream)
+    if len(spec) == 5:
+        from ..rng import MirroredDraws
+
+        streams = MirroredDraws(streams, spec[3], spec[4])
+    return streams
 
 
 def resolve_workers(n_workers: int) -> int:
@@ -563,6 +579,7 @@ class SerialBatchRunner:
         streams,
         batch_size: int,
         timers: StageTimers | None = None,
+        group: int = 1,
     ):
         self.ctx = ctx
         self.streams = streams
@@ -574,6 +591,7 @@ class SerialBatchRunner:
             width=self.batch_size,
             lookahead=0,
             timers=timers,
+            group=group,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -593,6 +611,7 @@ class PipelinedBatchRunner:
         batch_size: int,
         lookahead: int = 1,
         timers: StageTimers | None = None,
+        group: int = 1,
     ):
         self._pipe = WalkPipeline(
             ctx,
@@ -601,6 +620,7 @@ class PipelinedBatchRunner:
             width=batch_size,
             lookahead=lookahead,
             timers=timers,
+            group=group,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -630,6 +650,7 @@ class ThreadedBatchRunner:
         pipeline: bool = True,
         lookahead: int = 1,
         timers: StageTimers | None = None,
+        group: int = 1,
     ):
         self.ctx = ctx
         self.spec = spec
@@ -638,6 +659,7 @@ class ThreadedBatchRunner:
         self._bounds = _chunk_bounds(
             self.batch_size, executor.n_workers, executor.chunk_size
         )
+        self._group = max(1, int(group))
         # Each slot gets a private StageTimers (no racy float accumulation
         # across pool threads); they merge into the shared one at close().
         self._timers = timers
@@ -656,6 +678,7 @@ class ThreadedBatchRunner:
                     width=b - a,
                     lookahead=lookahead,
                     timers=tm,
+                    group=self._group,
                 )
                 for (a, b), tm in zip(self._bounds, self._slot_timers)
             ]
@@ -769,6 +792,7 @@ def make_batch_runner(
         executor.n_workers if executor is not None else resolve_workers(config.n_workers)
     )
     spec = stream_spec(config, ctx.master)
+    group = config.antithetic_group if config.antithetic else 1
     owned = None
     if backend != "serial" and workers > 1 and executor is None:
         owned = PersistentExecutor(
@@ -788,10 +812,11 @@ def make_batch_runner(
                 config.batch_size,
                 config.pipeline_lookahead,
                 timers=timers,
+                group=group,
             )
         else:
             runner = SerialBatchRunner(
-                ctx, streams, config.batch_size, timers=timers
+                ctx, streams, config.batch_size, timers=timers, group=group
             )
     elif backend == "thread":
         runner = ThreadedBatchRunner(
@@ -802,6 +827,7 @@ def make_batch_runner(
             pipeline=config.pipeline,
             lookahead=config.pipeline_lookahead,
             timers=timers,
+            group=group,
         )
     else:
         runner = ProcessBatchRunner(

@@ -322,6 +322,14 @@ class FRWSolver:
             "schedule": {
                 "interleaved": interleaved,
                 "allocation": self.config.allocation,
+                "antithetic": (
+                    {
+                        "group": self.config.antithetic_group,
+                        "depth": self.config.antithetic_depth,
+                    }
+                    if self.config.antithetic
+                    else None
+                ),
                 "asset_cache": self.assets.stats(),
                 "query_stats": self.assets.query_stats(),
                 "dispatched_batches": sum(s.dispatched_batches for s in stats),

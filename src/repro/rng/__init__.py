@@ -11,6 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from .antithetic import (
+    MAX_GROUP,
+    MirroredDraws,
+    antipodal_uniform,
+    mirror_params,
+    mirror_uniform,
+)
 from .counter_stream import (
     BLOCKS_PER_STEP,
     DOMAIN_TAG,
@@ -50,7 +57,12 @@ __all__ = [
     "BLOCKS_PER_STEP",
     "DOMAIN_TAG",
     "MAX_DRAWS_PER_STEP",
+    "MAX_GROUP",
     "MTWalkStreams",
+    "MirroredDraws",
+    "antipodal_uniform",
+    "mirror_params",
+    "mirror_uniform",
     "PHILOX_ROUNDS",
     "SequentialStream",
     "WalkStreams",

@@ -1,0 +1,246 @@
+"""Generalized antithetic sampling as a view over the counter streams.
+
+The antithetic scheme of "Faster Random Walk-based Capacitance Extraction
+with Generalized Antithetic Sampling" (PAPERS.md) pairs every primary walk
+with ``group - 1`` partner walks whose first-hop (and optionally deeper)
+direction draws are fixed reflections/rotations of the primary's draws.
+Because each transform is a measure-preserving bijection of ``[0, 1)``,
+every partner is *marginally* an exact FRW walk — the group mean is an
+unbiased capacitance sample — while the partners' mirrored first hops are
+negatively correlated with the primary's, so the variance of the group
+mean drops below ``1/group`` of the per-walk variance and fewer walks
+reach a given ``Err_cap``.
+
+Reproducibility is preserved *by construction*: walk UIDs are grouped in
+aligned blocks of ``group`` consecutive UIDs (``batch_size`` is validated
+to be a multiple of ``group``, and UIDs start at 0, so groups never
+straddle a batch).  A partner's draw at ``(step, slot)`` is a pure
+function of ``(seed, stream, primary_uid, partner_index, step, slot)`` —
+the partner consumes the *same* Philox counter words as its primary
+(:class:`MirroredDraws` queries the base stream at the primary UID) and
+applies a fixed elementwise transform.  No per-walk state, no ordering
+dependence: bit-identity across backends, worker counts, and start
+methods holds exactly as it does for the plain counter streams.
+
+Transform family (partner index ``k`` in ``1 .. group-1``)::
+
+    reflect_k = (k odd)            # u -> 1 - u
+    offset_k  = (k // 2) * 2 / G   # u -> u + offset  (mod 1)
+    T_k(u)    = (1 - u if reflect_k else u) + offset_k   (mod 1)
+
+For ``group=2`` this is the classic antithetic reflection ``u -> 1 - u``;
+for ``group=4`` it is the dihedral set {identity, reflect, rotate-half,
+reflect+rotate-half}.  Jitter/coordinate slots (slot >= 1) apply ``T_k``
+over the whole unit interval.
+
+The *cell-selection* slot (slot 0) applies the same reflect/rotate — but
+**within the third of [0, 1) the draw fell in** (:func:`antipodal_uniform`).
+That choice is dictated by the transition table's CDF layout
+(:mod:`repro.greens.cube_table`): cells are flattened face-major in the
+order (axis0-lo, axis0-hi, axis1-lo, axis1-hi, axis2-lo, axis2-hi), the
+centre-sampled kernel gives every face exactly 1/6 of the mass, and
+within-face probabilities are centrally symmetric in row-major cell
+order.  Reflecting the slot-0 draw within its third therefore reverses
+the cell rank across one axis' face *pair* — which lands on the same
+axis' other face, at the point-mirrored transverse cell: together with
+the reflected jitter slots, partner ``k=1``'s first hop is the **exact
+antipodal point** of the primary's hop on the transition cube.  The
+centre-gradient kernel is odd under that point reflection, so the
+partner's flux weight is (up to CDF rounding at cell edges) the exact
+negative of the primary's — the strongest anticorrelation the first hop
+admits.  A whole-interval reflection of slot 0 would instead map
+axis0-lo cells onto axis2-hi cells: a different axis, nearly
+uncorrelated weights, and a measured ~3x smaller walk reduction.
+
+The transform applies to hop steps ``1 .. depth`` only:
+
+* step 0 (the launch) is shared untransformed, so a group launches from
+  one common Gaussian-surface point — the paper's pairing;
+* steps past ``depth`` share the primary's words untransformed (common
+  random numbers), which keeps diverged partner paths loosely coupled
+  without re-randomising them; each partner's marginal law is unaffected.
+
+Floating-point note: ``1 - u`` and ``mod(u + c, 1)`` are deterministic
+elementwise double operations, so transformed draws are bit-stable, but
+rounding makes the transforms measure-preserving only to one ulp — a
+``2^-53``-level perturbation ten orders below the Monte-Carlo error, and
+identical on every host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RNGError
+
+#: Largest supported antithetic group (partner transforms beyond eight-way
+#: rotation/reflection splits add bookkeeping but no new cancellation).
+MAX_GROUP = 8
+
+
+def mirror_params(group: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-partner transform parameters ``(reflect, offset)``.
+
+    ``reflect[k]`` is 1.0 where partner ``k`` reflects (odd ``k``) else
+    0.0; ``offset[k]`` is its rotation.  Index 0 (the primary) is the
+    identity.
+    """
+    if group < 2 or group > MAX_GROUP:
+        raise RNGError(f"group must be in [2, {MAX_GROUP}], got {group}")
+    k = np.arange(group, dtype=np.int64)
+    reflect = (k & 1).astype(np.float64)
+    offset = (k // 2).astype(np.float64) * (2.0 / group)
+    return reflect, offset
+
+
+def mirror_uniform(
+    u: np.ndarray, reflect: np.ndarray, offset: np.ndarray
+) -> np.ndarray:
+    """Apply ``T(u) = mod((1-u if reflect else u) + offset, 1)`` in place.
+
+    ``reflect``/``offset`` broadcast against ``u`` (callers pass per-walk
+    columns against ``(n, count)`` draw blocks).  Returns ``u``.
+    """
+    # (1 - 2*reflect) * u + reflect: u where reflect==0, 1-u where 1.
+    np.multiply(u, 1.0 - 2.0 * reflect, out=u)
+    np.add(u, reflect, out=u)
+    np.add(u, offset, out=u)
+    np.subtract(u, np.floor(u), out=u)
+    # floor() maps an exact 1.0 (u=0 reflected) back to 0.0, keeping the
+    # half-open [0, 1) contract of the base stream.
+    return u
+
+
+def antipodal_uniform(
+    u: np.ndarray, reflect: np.ndarray, offset: np.ndarray
+) -> np.ndarray:
+    """Apply the slot-0 transform: reflect/rotate *within each third*.
+
+    ``u`` is decomposed as ``p/3 + w`` with ``p = floor(3u)`` the third
+    (= transition-cube axis pair, see the module docstring) and ``w`` the
+    offset inside it; the reflection/rotation acts on ``w`` over
+    ``[0, 1/3)`` and ``p`` is kept, so the transformed draw selects a
+    cell of the *same axis pair* — the antipodal cell, for a pure
+    reflection.  Still a measure-preserving bijection of ``[0, 1)``
+    (piecewise isometries of the thirds), so partner hops keep the exact
+    transition distribution.  In place; broadcasts like
+    :func:`mirror_uniform`; identity rows (reflect 0, offset 0) are
+    bit-exact.
+    """
+    third = np.floor(u * 3.0)
+    np.minimum(third, 2.0, out=third)  # u -> 1.0 ulp guard
+    third /= 3.0
+    w = np.subtract(u, third, out=u)
+    np.multiply(w, 1.0 - 2.0 * reflect, out=w)
+    np.add(w, reflect * (1.0 / 3.0), out=w)
+    np.add(w, offset * (1.0 / 3.0), out=w)
+    np.subtract(w, np.floor(w * 3.0) / 3.0, out=w)
+    np.add(w, third, out=w)
+    # Rounding at the upper cell edge can bump w onto the next third's
+    # boundary; the identity path (reflect 0, offset 0) never enters the
+    # adjustments above (w*3 < 1 exactly after subtracting its own third),
+    # so untransformed rows pass through bit-exact.
+    return u
+
+
+class MirroredDraws:
+    """Antithetic view over a per-walk stream provider.
+
+    Wraps a base provider (:class:`~repro.rng.WalkStreams`) so that UID
+    ``p + k`` (``p`` a multiple of ``group``, ``k`` in ``1..group-1``)
+    draws the base stream's words *for UID p* and applies partner ``k``'s
+    fixed reflection/rotation on hop steps ``1..depth``.  UIDs that are
+    multiples of ``group`` (and all draws at step 0 or past ``depth``)
+    pass through untransformed.
+
+    The base provider must be counter-based — draws keyed by ``(uid,
+    step, slot)``, not by consumption order — because partners re-read
+    the primary's words.  Stateful providers (``MTWalkStreams``) would
+    advance the primary's cursor and are rejected by config validation.
+    """
+
+    def __init__(self, base, group: int, depth: int = 1):
+        if depth < 1:
+            raise RNGError(f"depth must be >= 1, got {depth}")
+        self.base = base
+        self.group = int(group)
+        self.depth = int(depth)
+        self._reflect, self._offset = mirror_params(self.group)
+        self._cap = 0
+        self._uid_s: np.ndarray | None = None
+        self._k_s: np.ndarray | None = None
+        self._r_s: np.ndarray | None = None
+        self._o_s: np.ndarray | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MirroredDraws({self.base!r}, group={self.group}, "
+            f"depth={self.depth})"
+        )
+
+    def _scratch(self, n: int):
+        if self._cap < n:
+            cap = max(n, 2 * self._cap)
+            self._uid_s = np.empty(cap, dtype=np.uint64)
+            self._k_s = np.empty(cap, dtype=np.uint64)
+            self._r_s = np.empty(cap, dtype=np.float64)
+            self._o_s = np.empty(cap, dtype=np.float64)
+            self._cap = cap
+        return self._uid_s[:n], self._k_s[:n], self._r_s[:n], self._o_s[:n]
+
+    def draws(
+        self,
+        uids: np.ndarray,
+        step: int | np.ndarray,
+        count: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return ``(len(uids), count)`` uniforms in [0, 1).
+
+        Pure per-walk function of ``(uid, step, slot)`` exactly like the
+        base stream — batching, ordering, and co-scheduling of primaries
+        and partners are invisible to the values.  ``step`` may be a
+        scalar or a per-walk array, as for the base stream.
+        """
+        uids = np.asarray(uids, dtype=np.uint64)
+        n = uids.shape[0]
+        primary, k, reflect, offset = self._scratch(n)
+        np.mod(uids, np.uint64(self.group), out=k)
+        np.subtract(uids, k, out=primary)
+        u = self.base.draws(primary, step, count, out=out)
+        step_arr = np.asarray(step, dtype=np.uint64)
+        transform = (
+            (k > 0)
+            & (step_arr >= 1)
+            & (step_arr <= np.uint64(self.depth))
+        )
+        if not transform.any():
+            return u
+        # Branchless whole-block transform: untransformed rows get the
+        # exact identity (reflect 0, offset 0 — u*1+0 and u-floor(u) are
+        # bit-exact for u in [0, 1)), so no fancy-index write-back copy.
+        # Slot 0 is the transition-cube cell selection and transforms
+        # within its third (antipodal hop); the remaining slots transform
+        # over the whole interval.
+        kk = k.astype(np.intp)
+        np.multiply(self._reflect[kk], transform, out=reflect)
+        np.multiply(self._offset[kk], transform, out=offset)
+        antipodal_uniform(u[:, :1], reflect[:, None], offset[:, None])
+        if count > 1:
+            mirror_uniform(u[:, 1:], reflect[:, None], offset[:, None])
+        return u
+
+    def draws_scalar(self, uid: int, step: int, count: int) -> list[float]:
+        """Scalar reference path; bit-identical to :meth:`draws`."""
+        uid = int(uid)
+        k = uid % self.group
+        values = self.base.draws_scalar(uid - k, step, count)
+        if k == 0 or step < 1 or step > self.depth:
+            return values
+        arr = np.asarray(values, dtype=np.float64)
+        r = np.float64(self._reflect[k])
+        o = np.float64(self._offset[k])
+        antipodal_uniform(arr[:1], r, o)
+        if arr.shape[0] > 1:
+            mirror_uniform(arr[1:], r, o)
+        return [float(v) for v in arr]
