@@ -15,8 +15,9 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src tests benchmarks
 
 # Append a fresh entry to both benchmark trajectories (BENCH_engine.json,
-# BENCH_extract.json): engine stage breakdown + far-field hit rates, and
-# the cross-master schedule comparison.
+# BENCH_extract.json): engine stage breakdown (seconds + dispatch counts,
+# incl. the open_field_prefetch1 RNG-prefetch A/B baseline) + far-field
+# hit rates, and the cross-master schedule comparison.
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_extract.py

@@ -19,11 +19,17 @@ changes can track the trajectory:
   *open-field-dominated* case: thin wires in a roomy enclosure with a
   small ``h_cap`` so most steps are capped far-field steps, which is the
   workload the tier-1 bounds exist for.
+* ``open_field_prefetch1`` — the same open-field case with the RNG
+  prefetch ring disabled (``rng_prefetch_depth=1``), so the layer-8
+  dispatch-amortisation win is visible as
+  ``speedups.rng_prefetch_open_field`` in every entry (the walk bytes
+  are identical — prefetching is bit-invisible).
 
 **Every** variant reports the engine's per-stage timing breakdown
-(rng / index_fast / index / sample / bookkeeping) from
-:class:`~repro.frw.engine.StageTimers` and the spatial index's far-field
-hit rate, so a regression is attributable to a stage, not just a total.
+(rng / index_fast / index / sample / retire / bookkeeping) from
+:class:`~repro.frw.engine.StageTimers` — seconds *and* per-stage kernel
+dispatch counts — and the spatial index's far-field hit rate, so a
+regression is attributable to a stage, not just a total.
 
 The output file is a *trajectory*: every invocation appends a timestamped
 entry (with git revision and host info) to the ``runs`` list instead of
@@ -140,18 +146,26 @@ def bench_engine_plain(ctx):
     return secs, N_BATCHES * BATCH, steps, timers
 
 
-def bench_engine_pipelined(ctx, n_walks=N_BATCHES * BATCH, width=BATCH):
+def bench_engine_pipelined(
+    ctx, n_walks=N_BATCHES * BATCH, width=BATCH, prefetch=None, repeats=3
+):
     _reset_stats(ctx)
     uids = np.arange(n_walks, dtype=np.uint64)
 
     def run():
         timers = StageTimers()
         res = run_walks_pipelined(
-            ctx, WalkStreams(SEED), uids, width=width, lookahead=2, timers=timers
+            ctx,
+            WalkStreams(SEED),
+            uids,
+            width=width,
+            lookahead=2,
+            timers=timers,
+            prefetch=prefetch,
         )
         return int(res.steps.sum()), timers
 
-    secs, steps, timers = _best_of(run)
+    secs, steps, timers = _best_of(run, repeats)
     return secs, n_walks, steps, timers
 
 
@@ -210,6 +224,15 @@ def bench_extract_default(structure):
 
     secs, steps, timers = _best_of(run)
     return secs, N_BATCHES * BATCH, steps, timers, ctx
+
+
+def _host_cpus() -> int:
+    """CPUs this process may run on (affinity/cgroup aware) — the number
+    that actually bounds engine throughput, unlike ``os.cpu_count()``."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux host
+        return os.cpu_count() or 1
 
 
 def _git_rev() -> str:
@@ -302,6 +325,25 @@ def _warn_on_regression(runs: list[dict]) -> None:
             f"entry ({curr_rate:.0f} vs {prev_rate:.0f}); timing on shared "
             f"runners is noisy, so this is informational only"
         )
+    # Same check for the RNG-prefetch on-vs-off speedup: both variants run
+    # in the same invocation, so their *ratio* is robust to runner speed —
+    # a drop here means the prefetch ring itself regressed.
+    prev_sp = runs[-2].get("speedups", {}).get("rng_prefetch_open_field")
+    curr_sp = runs[-1].get("speedups", {}).get("rng_prefetch_open_field")
+    if not prev_sp or not curr_sp:
+        return
+    sp_change = curr_sp / prev_sp - 1.0
+    print(
+        f"rng_prefetch_open_field speedup: {curr_sp:.3f}x vs previous "
+        f"{prev_sp:.3f}x ({sp_change:+.1%})"
+    )
+    if sp_change < -REGRESSION_WARN:
+        print(
+            f"::warning title=RNG prefetch regression::the open-field "
+            f"prefetch-on vs prefetch-off speedup dropped {-sp_change:.1%} "
+            f"vs the previous trajectory entry ({curr_sp:.3f}x vs "
+            f"{prev_sp:.3f}x)"
+        )
 
 
 def main() -> None:
@@ -312,7 +354,16 @@ def main() -> None:
         "--warn-regression",
         action="store_true",
         help="print a GitHub ::warning:: annotation when engine_pipelined "
-        "steps/sec regressed >20%% vs the previous trajectory entry",
+        "steps/sec (or the rng_prefetch_open_field speedup) regressed "
+        ">20%% vs the previous trajectory entry",
+    )
+    parser.add_argument(
+        "--rng-prefetch-depth",
+        type=int,
+        default=None,
+        help="RNG prefetch ring depth for the pipelined variants "
+        "(default: the FRWConfig default; the open_field_prefetch1 "
+        "baseline always runs at 1)",
     )
     args = parser.parse_args()
 
@@ -331,21 +382,30 @@ def main() -> None:
     )
 
     results = {}
+    prefetch = args.rng_prefetch_depth
     secs, walks, steps, timers = bench_engine_plain(ctx)
     _record(results, "engine_plain", secs, walks, steps, timers, ctx)
-    secs, walks, steps, timers = bench_engine_pipelined(ctx)
+    secs, walks, steps, timers = bench_engine_pipelined(ctx, prefetch=prefetch)
     _record(results, "engine_pipelined", secs, walks, steps, timers, ctx)
-    secs, walks, steps, timers = bench_engine_pipelined(ctx_nofast)
+    secs, walks, steps, timers = bench_engine_pipelined(
+        ctx_nofast, prefetch=prefetch
+    )
     _record(
         results, "engine_pipelined_nofast", secs, walks, steps, timers,
         ctx_nofast,
     )
-    for name, c in [
-        ("open_field", ctx_open),
-        ("open_field_nofast", ctx_open_nofast),
+    for name, c, pf in [
+        ("open_field", ctx_open, prefetch),
+        ("open_field_nofast", ctx_open_nofast, prefetch),
+        # The same engine with the prefetch ring disabled: the layer-8
+        # dispatch-amortisation baseline (identical walk bytes).
+        ("open_field_prefetch1", ctx_open, 1),
     ]:
+        # Best-of-5 for the ~1s open-field runs: container noise bursts
+        # outlast a single repeat, and the on/off prefetch ratio is only
+        # meaningful when both sides caught a quiet window.
         secs, walks, steps, timers = bench_engine_pipelined(
-            c, n_walks=OPEN_WALKS, width=OPEN_WIDTH
+            c, n_walks=OPEN_WALKS, width=OPEN_WIDTH, prefetch=pf, repeats=5
         )
         _record(results, name, secs, walks, steps, timers, c)
     secs, walks, steps, timers, c = bench_extract_seed_style(structure)
@@ -361,6 +421,9 @@ def main() -> None:
         "git_rev": _git_rev(),
         "host": {
             "cpu_count": os.cpu_count(),
+            # Schedulable CPUs (affinity/cgroup aware): 1-core-container
+            # entries are self-describing without external context.
+            "host_cpus": _host_cpus(),
             "machine": platform.machine(),
             "python": platform.python_version(),
         },
@@ -393,6 +456,11 @@ def main() -> None:
                 / results["open_field_nofast"]["steps_per_sec"],
                 3,
             ),
+            "rng_prefetch_open_field": round(
+                results["open_field"]["steps_per_sec"]
+                / results["open_field_prefetch1"]["steps_per_sec"],
+                3,
+            ),
         },
     }
     runs = trajectory["runs"]
@@ -403,7 +471,14 @@ def main() -> None:
             entry["speedups"]["pipelined_vs_first_run"] = round(
                 results["engine_pipelined"]["steps_per_sec"] / base_rate, 3
             )
-        prev = runs[-1].get("results", {}).get("engine_pipelined", {})
+        prev_results = runs[-1].get("results", {})
+        # Compare open_field against the previous entry's own open_field
+        # when it has one (entries since the fast-path PR); the very first
+        # comparison fell back to engine_pipelined and stays frozen in the
+        # trajectory.
+        prev = prev_results.get(
+            "open_field", prev_results.get("engine_pipelined", {})
+        )
         prev_rate = prev.get("steps_per_sec")
         if prev_rate:
             entry["speedups"]["open_field_pipelined_vs_prev_entry"] = round(

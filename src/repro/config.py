@@ -127,6 +127,21 @@ class FRWConfig:
     pipeline_lookahead:
         How many batches ahead the pipeline may refill from (bounds the
         work discarded when the stopping rule fires mid-pipeline).
+    rng_prefetch_depth:
+        Steps of RNG prefetched per fused Philox pass (1-16, default 8).
+        The engine keeps a ring buffer of draws for the next
+        ``rng_prefetch_depth`` steps of every live walk and refills it
+        with one span kernel instead of one draw kernel per step, cutting
+        the rng stage's Python-dispatch count by up to that factor.
+        Because draws are pure functions of ``(seed, uid, step, slot)``,
+        prefetching is bit-invisible: results are byte-identical for
+        every depth, backend, worker count, and start method, antithetic
+        on or off.  The engine fuses adaptively — wide vectors whose span
+        lattice would fall out of cache take the per-step path (see
+        PERFORMANCE.md layer 8) — so oversizing the depth wastes only
+        ring memory (``24 * depth`` bytes per arena slot).  1 disables
+        prefetching; the stateful MT ablation streams cannot seek, so
+        they always run as if 1.
     interleave_masters:
         Multi-master extraction submits batches from *all* masters into
         the one executor as a single interleaved stream (the cross-master
@@ -251,6 +266,7 @@ class FRWConfig:
     shared_context: bool = True
     pipeline: bool = True
     pipeline_lookahead: int = 1
+    rng_prefetch_depth: int = 8
     interleave_masters: bool = True
     allocation: str = "even"
     allocation_hysteresis: float = 0.25
@@ -356,6 +372,11 @@ class FRWConfig:
         if self.pipeline_lookahead < 0:
             raise ConfigError(
                 f"pipeline_lookahead must be >= 0, got {self.pipeline_lookahead}"
+            )
+        if not (1 <= self.rng_prefetch_depth <= 16):
+            raise ConfigError(
+                f"rng_prefetch_depth must be in [1, 16], got "
+                f"{self.rng_prefetch_depth}"
             )
         if self.allocation not in ALLOCATION_KINDS:
             raise ConfigError(

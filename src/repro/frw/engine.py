@@ -65,7 +65,7 @@ from __future__ import annotations
 
 import inspect
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
 
@@ -87,40 +87,72 @@ class WalkResults:
     truncated: int  # walks cut by the step cap (absorbed to enclosure)
 
 
+#: Stage names of :class:`StageTimers`, in reporting order.
+STAGE_NAMES = ("rng", "index_fast", "index", "sample", "retire", "bookkeeping")
+
+#: Lattice-element budget of a fused RNG span pass (see WalkPipeline:
+#: prefetching pays off while fixed dispatch cost dominates, i.e. while the
+#: fused (2 * prefetch, n) counter lattice stays cache-resident; beyond it
+#: the per-step path is faster).  Matches the span kernel's column tile.
+SPAN_FUSE_BUDGET = 16384
+
+
 @dataclass
 class StageTimers:
-    """Accumulated wall time of the engine's per-step stages.
+    """Accumulated wall time *and dispatch counts* of the engine's stages.
 
-    ``rng`` — counter-stream draws; ``index_fast`` — the spatial index's
-    tier-1 far-field split (cell lookup + bounds mask + capped scatter);
-    ``index`` — the near-field candidate gather plus enclosure distance
-    queries; ``sample`` — surface/cube-kernel sampling and the position
-    update; ``bookkeeping`` — masks, retiring, slot compaction, launches
-    and result banking.
+    ``rng`` — counter-stream draws (with the prefetch ring, one fused span
+    pass covers ``rng_prefetch_depth`` steps, so its dispatch count drops by
+    ~that factor while ``steps`` keeps counting every vector step);
+    ``index_fast`` — the spatial index's tier-1 far-field split (cell
+    lookup + bounds mask + capped scatter); ``index`` — the near-field
+    candidate gather plus enclosure distance queries; ``sample`` —
+    surface/cube-kernel sampling and the position update; ``retire`` —
+    result banking, stream release and slot compaction of absorbed walks;
+    ``bookkeeping`` — masks, launch scatter-writes and the remaining
+    per-step glue.
+
+    ``counts[stage]`` counts ``lap`` calls — i.e. kernel-cohort dispatches
+    charged to the stage — so a stage's fixed Python-dispatch overhead is
+    measurable separately from its seconds (the engine's pipelining work
+    targets exactly that overhead).
     """
 
     rng: float = 0.0
     index_fast: float = 0.0
     index: float = 0.0
     sample: float = 0.0
+    retire: float = 0.0
     bookkeeping: float = 0.0
     steps: int = 0
+    counts: dict = field(default_factory=dict)
 
     def lap(self, stage: str, t0: float) -> float:
         """Charge ``now - t0`` to ``stage``; returns the new timestamp."""
         t1 = perf_counter()
         setattr(self, stage, getattr(self, stage) + (t1 - t0))
+        self.counts[stage] = self.counts.get(stage, 0) + 1
         return t1
 
     def merge(self, other: "StageTimers") -> None:
         """Fold another timer's stages into this one (cross-worker or
-        cross-master aggregation; stage seconds and step counts add)."""
+        cross-master aggregation; stage seconds, dispatch counts and step
+        counts add)."""
         self.rng += other.rng
         self.index_fast += other.index_fast
         self.index += other.index
         self.sample += other.sample
+        # Timers merged from workers predating the `retire` stage (e.g.
+        # pickled across versions) simply contribute zero to it.
+        self.retire += getattr(other, "retire", 0.0)
         self.bookkeeping += other.bookkeeping
         self.steps += other.steps
+        other_counts = getattr(other, "counts", None)
+        if other_counts:
+            for stage in sorted(other_counts):
+                self.counts[stage] = (
+                    self.counts.get(stage, 0) + other_counts[stage]
+                )
 
     @property
     def total(self) -> float:
@@ -130,20 +162,19 @@ class StageTimers:
             + self.index_fast
             + self.index
             + self.sample
+            + self.retire
             + self.bookkeeping
         )
 
     def as_dict(self) -> dict:
-        """Stage seconds plus the step count (for steps/sec rates)."""
-        return {
-            "rng": self.rng,
-            "index_fast": self.index_fast,
-            "index": self.index,
-            "sample": self.sample,
-            "bookkeeping": self.bookkeeping,
-            "total": self.total,
-            "steps": self.steps,
+        """Stage seconds, the step count, and per-stage dispatch counts."""
+        out = {stage: getattr(self, stage) for stage in STAGE_NAMES}
+        out["total"] = self.total
+        out["steps"] = self.steps
+        out["counts"] = {
+            stage: self.counts.get(stage, 0) for stage in STAGE_NAMES
         }
+        return out
 
 
 class ArenaWorkspace:
@@ -177,10 +208,14 @@ class ArenaWorkspace:
         "b2",
         "b3",
         "b4",
+        "ring",
+        "span_u",
     )
 
     def __init__(self, capacity: int):
         self.capacity = 0
+        self.ring = None
+        self.span_u = None
         self.ensure(capacity)
 
     def ensure(self, capacity: int) -> None:
@@ -189,6 +224,10 @@ class ArenaWorkspace:
         if capacity <= self.capacity:
             return
         self.capacity = capacity
+        # The prefetch ring is depth-dependent and capacity-sized; drop it
+        # on growth so the next ensure_ring reallocates at the new width.
+        self.ring = None
+        self.span_u = None
         self.uid = np.empty(capacity, dtype=np.uint64)
         self.grow = np.empty(capacity, dtype=np.int64)
         self.row = np.empty(capacity, dtype=np.int64)
@@ -211,6 +250,28 @@ class ArenaWorkspace:
         self.b2 = np.empty(capacity, dtype=bool)
         self.b3 = np.empty(capacity, dtype=bool)
         self.b4 = np.empty(capacity, dtype=bool)
+
+    def ensure_ring(self, depth: int) -> None:
+        """Allocate the RNG prefetch ring for ``depth`` steps ahead.
+
+        ``ring[k, d, i]`` holds hop-draw slot ``d`` of arena slot ``i`` at
+        the ``k``-th buffered step; ``span_u`` is the launch-time span
+        scratch (one extra plane for the step-0 surface draws).  Storage is
+        *slot-major* — ``(depth, 3, capacity)`` — so the span kernel's
+        conversion writes (through a transposed view) and the sample
+        stage's per-draw-slot column reads are both contiguous; the
+        ``(n, 3)`` draw blocks the step consumes are transposed views.
+        Reused across pipelines sharing the workspace; regrown when depth
+        or capacity grew.
+        """
+        depth = int(depth)
+        ring = self.ring
+        if ring is not None and ring.shape[0] >= depth:
+            return
+        self.ring = np.empty((depth, 3, self.capacity), dtype=np.float64)
+        self.span_u = np.empty(
+            (depth + 1, 3, self.capacity), dtype=np.float64
+        )
 
 
 _THREAD_WS = threading.local()
@@ -268,6 +329,22 @@ class WalkPipeline:
         at any ``group``, and the alignment is waived rather than
         deadlocking when the arena is empty or a batch tail is shorter
         than a group.
+    prefetch:
+        RNG prefetch depth ``K``: one fused Philox span pass fills the
+        draws for the next ``K`` steps of every live slot into the
+        workspace ring buffer, consumed one plane per step, so the fixed
+        per-call draw-dispatch cost is paid once per ``K`` steps.  The
+        ring is *phase-aligned*: a single cursor is shared by all slots
+        (consuming a plane is a zero-dispatch view), launches prefetch a
+        partial span that joins the global phase, and retirement
+        compaction moves ring columns with the other slot state — so the
+        per-slot cursor is simply ``(step_no[i], cursor)``.  Because
+        draws are pure functions of ``(seed, uid, step, slot)``, results
+        are bit-identical at every depth (prefetching can only compute
+        draws a retired walk never consumes).  ``None`` takes the depth
+        from ``ctx.config.rng_prefetch_depth``; depth 1 — or a stream
+        provider without ``draws_span`` (the MT ablation) — keeps the
+        per-step draw path.
     """
 
     def __init__(
@@ -281,6 +358,7 @@ class WalkPipeline:
         workspace: ArenaWorkspace | None = None,
         timers: StageTimers | None = None,
         group: int = 1,
+        prefetch: int | None = None,
     ):
         self.ctx = ctx
         self.streams = streams
@@ -346,6 +424,36 @@ class WalkPipeline:
         self._nsign = ws.nsign
         self._n = 0
         self._have_first = False
+        self._cond_q = None  # conductor ids handed from index to absorb
+
+        # RNG prefetch ring (see the `prefetch` parameter docs).
+        if prefetch is None:
+            prefetch = getattr(ctx.config, "rng_prefetch_depth", 1)
+        span_fn = getattr(streams, "draws_span", None)
+        self.prefetch = max(1, int(prefetch)) if span_fn is not None else 1
+        if self.prefetch > 1:
+            self._span_fn = span_fn
+            # Fuse only when the whole (2K, n) span lattice fits one
+            # cache-resident pass: fusing amortizes *fixed dispatch cost*,
+            # which dominates at small-to-mid vector widths (the pipeline's
+            # long-tail regime) but vanishes at full width, where a fused
+            # pass only adds cache pressure (measured 0.4x at n=8192,
+            # K=4).  Above the threshold the step falls back to the
+            # per-step draw path with the ring parked drained.
+            self._span_max_n = max(1, SPAN_FUSE_BUDGET // (2 * self.prefetch))
+            ws.ensure_ring(self.prefetch)
+            # Slot-major storage; the `_v` views expose the (depth, n,
+            # count) axis order draws_span expects, sharing the memory.
+            self._ring = ws.ring[: self.prefetch]
+            self._ring_v = self._ring.transpose(0, 2, 1)
+            self._span_u = ws.span_u[: self.prefetch + 1]
+            self._span_v = self._span_u.transpose(0, 2, 1)
+            # cursor == prefetch means "ring drained": the next step (or
+            # launch) refills before consuming.
+            self._ring_cursor = self.prefetch
+        else:
+            self._span_fn = None
+            self._ring = None
 
     @property
     def active(self) -> int:
@@ -431,7 +539,22 @@ class WalkPipeline:
         k = uids.shape[0]
         n = self._n
         sl = slice(n, n + k)
-        if self._draws_out:
+        if self._ring is not None and self._ring_cursor < self.prefetch:
+            # Launch span joins the global ring phase: with the cursor at
+            # ``c``, live slots hold steps ``step_no .. step_no+K-1-c`` in
+            # ring planes ``c..K-1``; a fresh walk (step_no 1) therefore
+            # needs steps ``1..K-c`` there, plus step 0 for the launch
+            # itself — one fused span of depth ``K-c+1`` starting at 0.
+            # (With the ring drained — cursor == K — there is nothing to
+            # join; the plain per-step draw below is the cheaper dispatch.)
+            c = self._ring_cursor
+            r = self.prefetch - c
+            span = self._span_fn(
+                uids, 0, r + 1, 3, out=self._span_v[: r + 1, :k]
+            )
+            u = span[0]
+            self._ring[c:, :, sl] = self._span_u[1 : r + 1, :, :k]
+        elif self._draws_out:
             u = self.streams.draws(uids, 0, 3, out=self._ws.u4[:k])
         else:
             u = self.streams.draws(uids, 0, 3)
@@ -509,6 +632,13 @@ class WalkPipeline:
             ):
                 arr[holes] = arr[movers]
             self._pos[holes] = self._pos[movers]
+            if self._ring is not None:
+                # Unconsumed prefetched planes travel with their slot; the
+                # phase alignment (plane c+j = step step_no+j) is preserved
+                # because compaction moves whole columns.
+                c = self._ring_cursor
+                if c < self.prefetch:
+                    self._ring[c:, :, holes] = self._ring[c:, :, movers]
             for arr in extra:
                 arr[holes] = arr[movers]
         self._n = n_new
@@ -518,22 +648,48 @@ class WalkPipeline:
         self._res_omega[self._grow[idx] - self._win_base_g] = omega
 
     # ------------------------------------------------------------------
-    # The vector step
+    # The vector step: decoupled stage kernels
     # ------------------------------------------------------------------
     def _step(self) -> None:
         """Advance every active walk by one hop (identical math to the
         historical batch loop; walks at different depths mix freely because
-        all per-walk operations are elementwise)."""
+        all per-walk operations are elementwise).
+
+        The step is a pipeline of cohort-wise stage kernels —
+        ``stage_retire_overcap -> stage_index -> stage_absorb ->
+        stage_rng -> stage_sample`` — communicating through workspace
+        views (the boolean cohort masks ``b0..b4`` and the distance
+        buffers).  The RNG stage consumes a prefetched ring plane on most
+        steps (one fused span dispatch per ``prefetch`` steps), so the
+        per-step fixed dispatch cost of the largest stage amortizes away;
+        each stage runs one large numpy kernel cohort over the dense slot
+        prefix rather than interleaving small ones.
+        """
         if self._n == 0:
             return
-        cfg = self.ctx.config
-        ws = self._ws
         tm = self._timers
         if tm is not None:
             tm.steps += 1
             t0 = perf_counter()
+        else:
+            t0 = 0.0
 
-        # Safety net: treat over-cap survivors as absorbed by the enclosure.
+        t0 = self._stage_retire_overcap(t0)
+        if self._n == 0:
+            return
+        t0, dist_c, dist_e = self._stage_index(t0)
+        t0, dist_c, dist_e = self._stage_absorb(t0, dist_c, dist_e)
+        if self._n == 0:
+            return
+        t0, u = self._stage_rng(t0)
+        self._stage_sample(t0, u, dist_c, dist_e)
+
+    def _stage_retire_overcap(self, t0: float) -> float:
+        """Safety net: retire over-cap survivors as absorbed by the
+        enclosure (counted as truncated)."""
+        cfg = self.ctx.config
+        ws = self._ws
+        tm = self._timers
         n = self._n
         over = np.greater(self._step_no[:n], cfg.max_steps, out=ws.b0[:n])
         n_over = int(np.count_nonzero(over))
@@ -542,14 +698,19 @@ class WalkPipeline:
             self._retire_compact(
                 over, dest, self._step_no[:n][over], truncated=True
             )
-            n = self._n
-            if n == 0:
-                if tm is not None:
-                    tm.lap("bookkeeping", t0)
-                return
-        if tm is not None:
+            if tm is not None:
+                t0 = tm.lap("retire", t0)
+        elif tm is not None:
             t0 = tm.lap("bookkeeping", t0)
+        return t0
 
+    def _stage_index(self, t0: float):
+        """Conductor-distance and enclosure-distance queries for the
+        active cohort (tier-1 far field split charged to ``index_fast``
+        by the index itself)."""
+        ws = self._ws
+        tm = self._timers
+        n = self._n
         pos = self._pos[:n]
         if self._query_into is not None:
             # Far-field fast path: the index fills the workspace buffers in
@@ -572,7 +733,18 @@ class WalkPipeline:
         dist_e = ws.h[:n]
         if tm is not None:
             t0 = tm.lap("index", t0)
+        # Hand the conductor ids to the absorb stage (a workspace view on
+        # the fast path, a fresh array on the fallback).
+        self._cond_q = cond
+        return t0, dist_c, dist_e
 
+    def _stage_absorb(self, t0: float, dist_c, dist_e):
+        """Absorption masks over the queried cohort, then retirement and
+        slot compaction of the absorbed walks."""
+        ws = self._ws
+        tm = self._timers
+        n = self._n
+        cond = self._cond_q
         tol = self.ctx.absorb_tol
         absorb_wall = np.less(dist_e, tol, out=ws.b0[:n])
         absorb_cond = np.less(dist_c, tol, out=ws.b1[:n])
@@ -600,16 +772,52 @@ class WalkPipeline:
                 extra=(dist_c, dist_e),
             )
             n = self._n
+            if tm is not None:
+                t0 = tm.lap("retire", t0)
             if n == 0:
-                if tm is not None:
-                    tm.lap("bookkeeping", t0)
-                return
+                return t0, dist_c, dist_e
             dist_c = dist_c[:n]
             dist_e = dist_e[:n]
-            pos = self._pos[:n]
-        if tm is not None:
+        elif tm is not None:
             t0 = tm.lap("bookkeeping", t0)
+        return t0, dist_c, dist_e
 
+    def _stage_rng(self, t0: float):
+        """Hop draws for the surviving cohort.
+
+        With the prefetch ring, most steps consume a ready plane (a
+        zero-dispatch view); one fused span pass per ``prefetch`` steps
+        refills all planes for every live slot in a single dispatch.
+        """
+        ws = self._ws
+        tm = self._timers
+        n = self._n
+        if self._ring is not None:
+            c = self._ring_cursor
+            if c < self.prefetch:
+                self._ring_cursor = c + 1
+                # (n, 3) transposed view: each draw-slot column is
+                # contiguous; consuming a ready plane dispatches nothing.
+                return t0, self._ring_v[c, :n]
+            if n <= self._span_max_n:
+                # Ring drained and the fused lattice is cache-resident:
+                # every live slot (including walks launched mid-ring, whose
+                # partial spans drained at the same phase) needs steps
+                # step_no .. step_no+K-1 — one fused pass.
+                self._span_fn(
+                    self._uid[:n],
+                    self._step_no[:n],
+                    self.prefetch,
+                    3,
+                    out=self._ring_v[:, :n],
+                )
+                if tm is not None:
+                    t0 = tm.lap("rng", t0)
+                self._ring_cursor = 1
+                return t0, self._ring_v[0, :n]
+            # Vector too wide to fuse profitably: per-step draws, ring
+            # stays parked drained (launches then prefetch nothing, so
+            # the phase invariant holds trivially).
         if self._draws_out:
             u = self.streams.draws(
                 self._uid[:n], self._step_no[:n], 3, out=ws.u4[:n]
@@ -618,7 +826,15 @@ class WalkPipeline:
             u = self.streams.draws(self._uid[:n], self._step_no[:n], 3)
         if tm is not None:
             t0 = tm.lap("rng", t0)
+        return t0, u
 
+    def _stage_sample(self, t0: float, u, dist_c, dist_e) -> None:
+        """Transition sampling and position update for the cohort."""
+        cfg = self.ctx.config
+        ws = self._ws
+        tm = self._timers
+        n = self._n
+        pos = self._pos[:n]
         # allow = min(dist_c, dist_e, h_cap); dist_c is dead after this and
         # is reused as the destination buffer.
         allow = np.minimum(dist_c, dist_e, out=dist_c)
@@ -797,6 +1013,7 @@ def run_walks(
     uids: np.ndarray,
     trace: list | None = None,
     timers: StageTimers | None = None,
+    prefetch: int | None = None,
 ) -> WalkResults:
     """Run a batch of walks to absorption.
 
@@ -813,6 +1030,10 @@ def run_walks(
         batches only; used by the scalar reference and Fig. 2).
     timers:
         Optional :class:`StageTimers` accumulating per-stage wall time.
+    prefetch:
+        RNG prefetch depth (``None`` = ``ctx.config.rng_prefetch_depth``);
+        see :class:`WalkPipeline`.  Bit-invisible — process workers reach
+        this through their shipped context's config.
 
     The slot arena is drawn from a thread-local workspace, so consecutive
     calls on one thread (executor chunk tasks, per-batch loops) reuse the
@@ -832,6 +1053,7 @@ def run_walks(
         trace=trace,
         workspace=_thread_workspace(max(1, uids.shape[0])),
         timers=timers,
+        prefetch=prefetch,
     )
     return pipe.next_batch()
 
@@ -844,12 +1066,14 @@ def run_walks_pipelined(
     lookahead: int = 1,
     timers: StageTimers | None = None,
     group: int = 1,
+    prefetch: int | None = None,
 ) -> WalkResults:
     """Run a fixed UID set through the refill pipeline in ``width``-sized
     batches, reassembling per-batch results in UID order.
 
     Bit-identical to :func:`run_walks` on the same UIDs; only the schedule
-    (and hence the throughput) differs.
+    (and hence the throughput) differs.  ``prefetch`` selects the RNG
+    prefetch depth (``None`` = config default) — also bit-invisible.
     """
     uids = np.asarray(uids, dtype=np.uint64)
     n = uids.shape[0]
@@ -869,6 +1093,7 @@ def run_walks_pipelined(
         lookahead=lookahead,
         timers=timers,
         group=group,
+        prefetch=prefetch,
     )
     parts = []
     for _ in range(n_batches):

@@ -580,6 +580,7 @@ class SerialBatchRunner:
         batch_size: int,
         timers: StageTimers | None = None,
         group: int = 1,
+        prefetch: int | None = None,
     ):
         self.ctx = ctx
         self.streams = streams
@@ -592,6 +593,7 @@ class SerialBatchRunner:
             lookahead=0,
             timers=timers,
             group=group,
+            prefetch=prefetch,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -612,6 +614,7 @@ class PipelinedBatchRunner:
         lookahead: int = 1,
         timers: StageTimers | None = None,
         group: int = 1,
+        prefetch: int | None = None,
     ):
         self._pipe = WalkPipeline(
             ctx,
@@ -621,6 +624,7 @@ class PipelinedBatchRunner:
             lookahead=lookahead,
             timers=timers,
             group=group,
+            prefetch=prefetch,
         )
 
     def run_batch(self, batch_index: int) -> WalkResults:
@@ -651,6 +655,7 @@ class ThreadedBatchRunner:
         lookahead: int = 1,
         timers: StageTimers | None = None,
         group: int = 1,
+        prefetch: int | None = None,
     ):
         self.ctx = ctx
         self.spec = spec
@@ -679,6 +684,7 @@ class ThreadedBatchRunner:
                     lookahead=lookahead,
                     timers=tm,
                     group=self._group,
+                    prefetch=prefetch,
                 )
                 for (a, b), tm in zip(self._bounds, self._slot_timers)
             ]
@@ -793,6 +799,11 @@ def make_batch_runner(
     )
     spec = stream_spec(config, ctx.master)
     group = config.antithetic_group if config.antithetic else 1
+    # Threaded/serial runners get the prefetch depth explicitly; process
+    # workers rebuild their pipelines from the shipped context and inherit
+    # it from ``ctx.config.rng_prefetch_depth`` (prefetching is
+    # bit-invisible, so the knob never needs to cross the wire separately).
+    prefetch = config.rng_prefetch_depth
     owned = None
     if backend != "serial" and workers > 1 and executor is None:
         owned = PersistentExecutor(
@@ -813,10 +824,16 @@ def make_batch_runner(
                 config.pipeline_lookahead,
                 timers=timers,
                 group=group,
+                prefetch=prefetch,
             )
         else:
             runner = SerialBatchRunner(
-                ctx, streams, config.batch_size, timers=timers, group=group
+                ctx,
+                streams,
+                config.batch_size,
+                timers=timers,
+                group=group,
+                prefetch=prefetch,
             )
     elif backend == "thread":
         runner = ThreadedBatchRunner(
@@ -828,6 +845,7 @@ def make_batch_runner(
             lookahead=config.pipeline_lookahead,
             timers=timers,
             group=group,
+            prefetch=prefetch,
         )
     else:
         runner = ProcessBatchRunner(

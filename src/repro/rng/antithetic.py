@@ -171,6 +171,10 @@ class MirroredDraws:
         self._k_s: np.ndarray | None = None
         self._r_s: np.ndarray | None = None
         self._o_s: np.ndarray | None = None
+        self._span_shape = (0, 0)
+        self._tr_s: np.ndarray | None = None
+        self._r2_s: np.ndarray | None = None
+        self._o2_s: np.ndarray | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -228,6 +232,65 @@ class MirroredDraws:
         antipodal_uniform(u[:, :1], reflect[:, None], offset[:, None])
         if count > 1:
             mirror_uniform(u[:, 1:], reflect[:, None], offset[:, None])
+        return u
+
+    def _span_scratch(self, depth: int, n: int):
+        d0, n0 = self._span_shape
+        if d0 < depth or n0 < n:
+            shape = (max(depth, d0), max(n, n0))
+            self._tr_s = np.empty(shape, dtype=bool)
+            self._r2_s = np.empty(shape, dtype=np.float64)
+            self._o2_s = np.empty(shape, dtype=np.float64)
+            self._span_shape = shape
+        return (
+            self._tr_s[:depth, :n],
+            self._r2_s[:depth, :n],
+            self._o2_s[:depth, :n],
+        )
+
+    def draws_span(
+        self,
+        uids: np.ndarray,
+        steps: int | np.ndarray,
+        depth: int,
+        count: int,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fused multi-step draws; plane ``k`` is bit-identical to
+        ``draws(uids, steps + k, count)``.
+
+        Delegates the Philox span to the base provider at the primary UIDs,
+        then applies the partner transforms plane-wise: the transform mask
+        is per ``(step offset, walk)``, so a span that straddles the
+        mirrored depth (``steps + k`` crossing ``self.depth``) transforms
+        exactly the in-range planes.  The engine's prefetch ring composes
+        with antithetic sampling through this method.
+        """
+        uids = np.asarray(uids, dtype=np.uint64)
+        n = uids.shape[0]
+        primary, k, _, _ = self._scratch(n)
+        np.mod(uids, np.uint64(self.group), out=k)
+        np.subtract(uids, k, out=primary)
+        u = self.base.draws_span(primary, steps, depth, count, out=out)
+        steps_arr = np.asarray(steps, dtype=np.uint64)
+        transform, reflect, offset = self._span_scratch(depth, n)
+        # step_grid[k_off, i] = steps_i + k_off; broadcasting covers both
+        # scalar and per-walk steps.
+        step_grid = np.add(
+            steps_arr, np.arange(depth, dtype=np.uint64)[:, None]
+        )
+        in_range = (step_grid >= np.uint64(1)) & (
+            step_grid <= np.uint64(self.depth)
+        )
+        np.logical_and(k > 0, in_range, out=transform)
+        if not transform.any():
+            return u
+        kk = k.astype(np.intp)
+        np.multiply(self._reflect[kk], transform, out=reflect)
+        np.multiply(self._offset[kk], transform, out=offset)
+        antipodal_uniform(u[:, :, :1], reflect[:, :, None], offset[:, :, None])
+        if count > 1:
+            mirror_uniform(u[:, :, 1:], reflect[:, :, None], offset[:, :, None])
         return u
 
     def draws_scalar(self, uid: int, step: int, count: int) -> list[float]:

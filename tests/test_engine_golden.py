@@ -148,6 +148,19 @@ def test_pipelined_engine_matches_golden(golden_case, width, lookahead):
     _check(case, res)
 
 
+@pytest.mark.parametrize("prefetch", [1, 2, 4, 8, 16])
+def test_prefetch_ring_matches_golden(golden_case, prefetch):
+    """The RNG prefetch ring is bit-invisible: every depth reproduces the
+    scalar-reference goldens byte for byte (draws are pure functions of
+    ``(seed, uid, step, slot)``, so *when* they are generated cannot
+    matter — this pins that the ring bookkeeping preserves it)."""
+    case, ctx, uids = golden_case
+    res = run_walks_pipelined(
+        ctx, WalkStreams(SEED, 0), uids, width=64, prefetch=prefetch
+    )
+    _check(case, res)
+
+
 @pytest.mark.parametrize("n_workers", [1, 2, 4])
 def test_thread_parallel_matches_golden(golden_case, n_workers):
     case, ctx, uids = golden_case
