@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-micro examples experiments experiments-quick clean
+.PHONY: install test lint bench bench-service bench-micro examples experiments experiments-quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,12 @@ lint:
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_extract.py
+
+# Append a fresh entry to the memoized-service trajectory
+# (BENCH_service.json): load p50/p99/rps + cache hit rate + the
+# interactive-vs-bulk fairness percentiles.
+bench-service:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py
 
 bench-micro:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -9,6 +9,8 @@ Subcommands
     Run one of the paper-reproduction experiment harnesses.
 ``info``
     Show the case registry and version.
+``serve``
+    Start the long-lived memoized extraction service (HTTP/JSON).
 """
 
 from __future__ import annotations
@@ -47,6 +49,70 @@ def _add_experiment_parser(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--profile", default="fast", choices=["fast", "paper"])
 
 
+def _positive(kind: str):
+    def parse(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"{kind} must be >= 1, got {value}")
+        return value
+
+    return parse
+
+
+def _add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve", help="start the memoized extraction service (HTTP/JSON)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8231,
+        help="TCP port (0 binds an ephemeral port; see --port-file)",
+    )
+    p.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for --port 0)",
+    )
+    p.add_argument(
+        "--slots",
+        type=_positive("--slots"),
+        default=1,
+        help="concurrent extraction slots (each owns one executor)",
+    )
+    p.add_argument(
+        "--executor",
+        default="serial",
+        choices=["serial", "thread", "process"],
+        help="walk executor backend used by every slot",
+    )
+    p.add_argument(
+        "--workers",
+        type=_positive("--workers"),
+        default=1,
+        help="workers per slot executor",
+    )
+    p.add_argument(
+        "--result-cache",
+        type=_positive("--result-cache"),
+        default=1024,
+        help="max memoized result rows",
+    )
+    p.add_argument(
+        "--asset-cache",
+        type=_positive("--asset-cache"),
+        default=64,
+        help="max cached per-geometry SharedAssets",
+    )
+    p.add_argument(
+        "--interactive-boost",
+        type=float,
+        default=4.0,
+        help="quota weight multiplier of the interactive class (>= 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -58,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_extract_parser(sub)
     _add_experiment_parser(sub)
     sub.add_parser("info", help="list the built-in test cases")
+    _add_serve_parser(sub)
     return parser
 
 
@@ -113,6 +180,36 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import ConfigError
+    from .service import ServiceSettings, run_server
+
+    settings = ServiceSettings(
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        executor=args.executor,
+        n_workers=args.workers,
+        result_cache_entries=args.result_cache,
+        asset_cache_entries=args.asset_cache,
+        interactive_boost=args.interactive_boost,
+        port_file=args.port_file,
+    )
+    try:
+        settings.validate()
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(port: int) -> None:
+        print(f"repro.service listening on http://{settings.host}:{port}")
+        print("POST /extract | GET /stats | GET /health | POST /shutdown")
+
+    run_server(settings, ready=ready)
+    print("repro.service stopped")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     rows = [
         [n, s.paper_nm, s.paper_n, s.paper_nc, s.tolerance, s.description]
@@ -135,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         "extract": cmd_extract,
         "experiment": cmd_experiment,
         "info": cmd_info,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

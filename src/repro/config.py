@@ -26,6 +26,69 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 ALLOCATION_KINDS = ("even", "variance")
 MP_START_METHODS = ("auto", "fork", "spawn", "forkserver")
 
+#: Config fields that determine the extracted bits.  Two extractions of the
+#: same structure whose configs agree on every field here produce
+#: byte-identical rows — this is the paper's reproducibility guarantee made
+#: into a cache key: the memoizing extraction service
+#: (:mod:`repro.service`) hashes exactly these fields (plus the canonical
+#: geometry) and replays cached rows for any request that collides.
+#: ``n_threads`` is here because the virtual-thread merge replay decides
+#: the accumulation order (the last floating-point bits are a documented
+#: function of the DOP ``T``); ``machine_seed``/``scheduler_jitter`` feed
+#: the simulated machine whose schedule Alg. 2 replays deterministically.
+RESULT_FIELDS = (
+    "seed",
+    "n_threads",
+    "batch_size",
+    "tolerance",
+    "max_walks",
+    "min_walks",
+    "variant",
+    "rng",
+    "summation",
+    "table_resolution",
+    "offset_fraction",
+    "h_cap_fraction",
+    "absorption_fraction",
+    "interface_snap_fraction",
+    "first_hop_interface_floor",
+    "max_steps",
+    "check_every",
+    "scheduler_jitter",
+    "machine_seed",
+    "deterministic_merge",
+    "antithetic",
+    "antithetic_group",
+    "antithetic_depth",
+)
+
+#: Config fields certified bit-invisible by the golden suites: they change
+#: wall time, scheduling, or diagnostics only, never a result bit.  The
+#: service's canonical hash ignores them, so e.g. a thread-backend request
+#: hits a row cached by a process-backend solve.  Every ``FRWConfig``
+#: field must appear in exactly one of the two tuples (enforced by
+#: ``tests/test_canonical.py``); a new field must be classified before the
+#: suite passes, which keeps the cache key honest by construction.
+ENGINE_FIELDS = (
+    "executor",
+    "n_workers",
+    "chunk_size",
+    "mp_start_method",
+    "shared_context",
+    "pipeline",
+    "pipeline_lookahead",
+    "rng_prefetch_depth",
+    "interleave_masters",
+    "allocation",
+    "allocation_hysteresis",
+    "max_inflight_batches",
+    "register_wave",
+    "far_field",
+    "sort_queries",
+    "bounds_resolution",
+    "sanitize",
+)
+
 
 @dataclass(frozen=True)
 class FRWConfig:
@@ -472,6 +535,17 @@ class FRWConfig:
     def with_(self, **kwargs) -> "FRWConfig":
         """Return a copy with fields replaced."""
         return replace(self, **kwargs)
+
+    def result_key(self) -> tuple:
+        """The result-determining projection of this config.
+
+        An ordered ``(name, value)`` tuple over :data:`RESULT_FIELDS`.
+        Two configs with equal result keys produce byte-identical rows on
+        the same structure (engine knobs are bit-invisible); the service
+        cache and :func:`repro.service.canonical_hash` key on exactly
+        this.
+        """
+        return tuple((name, getattr(self, name)) for name in RESULT_FIELDS)
 
     @property
     def uses_regularization(self) -> bool:

@@ -10,6 +10,7 @@ resolution), so a multi-master extraction shares them through a
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,24 +93,56 @@ class ExtractionContext:
         return self.surface.total_area * EPS0_FF_PER_UM
 
 
+#: Default bounds on live cached assets per :class:`SharedAssets`.  A
+#: single extraction touches one index key and one table resolution, so
+#: the steady state never evicts; the bounds only matter when one
+#: ``SharedAssets`` outlives many differently-configured extractions (the
+#: long-lived ``repro.service`` daemon), where unbounded per-key retention
+#: would be a real leak.  Evicted assets are rebuilt bit-identically from
+#: the structure/config on the next request — the same revive-by-replay
+#: discipline as the MT walk-stream LRU (:mod:`repro.rng.mersenne`) — so
+#: the bounds are a pure memory/latency trade-off and never affect rows.
+DEFAULT_MAX_INDEXES = 8
+DEFAULT_MAX_TABLES = 4
+
+
 class SharedAssets:
-    """Cache of master-independent context assets for one structure.
+    """Bounded cache of master-independent context assets for one structure.
 
     Owned by the solver (one per :class:`~repro.frw.solver.FRWSolver`):
-    the spatial index is keyed by ``h_cap`` and the cube transition table
-    by its resolution, so an N-master extraction builds each exactly once.
-    Hit/build counters feed the scheduler telemetry and the extraction
-    benchmark's cache assertions.
+    the spatial index is keyed by ``h_cap`` (plus the fast-path knobs) and
+    the cube transition table by its resolution, so an N-master extraction
+    builds each exactly once.  Both caches are LRU-bounded
+    (``max_indexes`` / ``max_tables``); eviction is bit-invisible because
+    assets are pure functions of ``(structure, key)`` and rebuild
+    identically.  Hit/build/eviction counters feed the scheduler telemetry
+    (``meta["schedule"]["asset_cache"]``) and the extraction benchmark's
+    cache assertions.
     """
 
-    def __init__(self, structure: Structure):
+    def __init__(
+        self,
+        structure: Structure,
+        max_indexes: int = DEFAULT_MAX_INDEXES,
+        max_tables: int = DEFAULT_MAX_TABLES,
+    ):
+        if max_indexes < 1:
+            raise ValueError(f"max_indexes must be >= 1, got {max_indexes}")
+        if max_tables < 1:
+            raise ValueError(f"max_tables must be >= 1, got {max_tables}")
         self.structure = structure
-        self._indexes: dict[tuple, BruteForceIndex | GridIndex] = {}
-        self._tables: dict[int, CubeTransitionTable] = {}
+        self.max_indexes = int(max_indexes)
+        self.max_tables = int(max_tables)
+        self._indexes: OrderedDict[tuple, BruteForceIndex | GridIndex] = (
+            OrderedDict()
+        )
+        self._tables: OrderedDict[int, CubeTransitionTable] = OrderedDict()
         self.index_builds = 0
         self.index_hits = 0
+        self.index_evictions = 0
         self.table_builds = 0
         self.table_hits = 0
+        self.table_evictions = 0
 
     def index(
         self,
@@ -140,7 +173,11 @@ class SharedAssets:
             )
             self._indexes[key] = index
             self.index_builds += 1
+            while len(self._indexes) > self.max_indexes:
+                self._indexes.popitem(last=False)
+                self.index_evictions += 1
         else:
+            self._indexes.move_to_end(key)
             self.index_hits += 1
         return index
 
@@ -166,7 +203,11 @@ class SharedAssets:
             table = get_cube_table(key)
             self._tables[key] = table
             self.table_builds += 1
+            while len(self._tables) > self.max_tables:
+                self._tables.popitem(last=False)
+                self.table_evictions += 1
         else:
+            self._tables.move_to_end(key)
             self.table_hits += 1
         return table
 
@@ -175,8 +216,14 @@ class SharedAssets:
         return {
             "index_builds": self.index_builds,
             "index_hits": self.index_hits,
+            "index_evictions": self.index_evictions,
+            "index_live": len(self._indexes),
+            "max_indexes": self.max_indexes,
             "table_builds": self.table_builds,
             "table_hits": self.table_hits,
+            "table_evictions": self.table_evictions,
+            "table_live": len(self._tables),
+            "max_tables": self.max_tables,
         }
 
 

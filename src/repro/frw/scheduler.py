@@ -156,6 +156,25 @@ def reweight_needed(
     )
 
 
+def backlog_weights(
+    backlogs: np.ndarray, boost: np.ndarray | None = None
+) -> np.ndarray:
+    """Quota weights for cross-request class scheduling.
+
+    The extraction service splits executor slots across priority classes
+    (interactive, bulk) with the same largest-remainder quota machinery the
+    cross-master scheduler uses for batches: weights are the queue
+    backlogs, optionally scaled by a per-class ``boost`` (interactive gets
+    a boost > 1 so a deep bulk queue cannot buy every slot).  Negative
+    backlogs clamp to zero.  Deterministic: a pure function of the queue
+    depths and the configured boosts.
+    """
+    weights = np.clip(np.asarray(backlogs, dtype=np.float64), 0.0, None)
+    if boost is not None:
+        weights = weights * np.asarray(boost, dtype=np.float64)
+    return weights
+
+
 def allocate_quota(
     weights: np.ndarray, total: int, min_share: int = 1
 ) -> np.ndarray:

@@ -166,12 +166,38 @@ class FRWSolver:
     affects wall time.
     """
 
-    def __init__(self, structure: Structure, config: FRWConfig | None = None):
+    def __init__(
+        self,
+        structure: Structure,
+        config: FRWConfig | None = None,
+        *,
+        assets: SharedAssets | None = None,
+        executor: PersistentExecutor | None = None,
+    ):
+        """``assets`` and ``executor`` (optional) inject *borrowed*
+        resources owned by a longer-lived host — the memoizing extraction
+        service shares one ``SharedAssets`` per canonical geometry and one
+        executor fleet across all requests.  A borrowed executor must match
+        the config's backend; it is never closed by this solver (only
+        owned pools are released by :meth:`close`).
+        """
         self.structure = structure
         self.config = config if config is not None else FRWConfig()
-        self.assets = SharedAssets(structure)
+        if assets is not None and assets.structure is not structure:
+            raise ConfigError(
+                "injected SharedAssets was built for a different structure"
+            )
+        self.assets = assets if assets is not None else SharedAssets(structure)
         self._contexts: dict[int, ExtractionContext] = {}
         self._executor: PersistentExecutor | None = None
+        self._owns_executor = executor is None
+        if executor is not None:
+            if executor.backend != self.config.executor:
+                raise ConfigError(
+                    f"injected executor backend {executor.backend!r} does "
+                    f"not match config.executor {self.config.executor!r}"
+                )
+            self._executor = executor
 
     def context(self, master: int) -> ExtractionContext:
         """Cached extraction context for one master conductor."""
@@ -204,10 +230,16 @@ class FRWSolver:
         return self._executor
 
     def close(self) -> None:
-        """Release executor pools (idempotent; solver stays usable)."""
+        """Release owned executor pools (idempotent; solver stays usable).
+
+        Borrowed executors (injected at construction) are left running —
+        their owner decides their lifetime.
+        """
         if self._executor is not None:
-            self._executor.close()
+            if self._owns_executor:
+                self._executor.close()
             self._executor = None
+            self._owns_executor = True
 
     def __enter__(self) -> "FRWSolver":
         return self

@@ -1,0 +1,656 @@
+"""The memoized extraction service: core engine + asyncio HTTP front door.
+
+Layer 9 of the performance story (docs/PERFORMANCE.md): because rows are a
+pure function of ``(canonical geometry, result-affecting config, seed)``,
+a long-lived daemon can memoize them *permanently* — a repeated net is a
+dictionary lookup, not a Monte-Carlo run.  The service is split in two:
+
+* :class:`ExtractionService` — the synchronous core.  Canonicalizes each
+  request, serves full hits straight from the result cache, and shards
+  misses over a fleet of per-slot worker threads, each owning its own
+  :class:`~repro.frw.parallel.PersistentExecutor`.  Slots are split across
+  the two priority classes (``interactive`` / ``bulk``) with the same
+  largest-remainder quota machinery the cross-master scheduler uses
+  (:func:`~repro.frw.scheduler.allocate_quota` over
+  :func:`~repro.frw.scheduler.backlog_weights`), with the invariant that a
+  non-empty interactive queue always holds at least one slot's quota —
+  bulk depth can never starve interactive latency.
+* :func:`run_server` — a stdlib-only ``asyncio`` HTTP/1.1 front door
+  (``python -m repro.cli serve``).  JSON in, JSON out; response bodies are
+  rendered with sorted keys so equal results are byte-equal on the wire.
+
+Request config handling: only :data:`repro.config.RESULT_FIELDS` are read
+from the request.  Engine fields (executor backend, worker count, ...) are
+certified bit-invisible by the golden suites, so the server substitutes its
+own — which is exactly why a request solved under one engine is a valid
+cache hit for every other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import __version__
+from ..config import ENGINE_FIELDS, RESULT_FIELDS, FRWConfig
+from ..errors import ConfigError, GeometryError
+from ..frw.parallel import PersistentExecutor, resolve_workers
+from ..frw.scheduler import allocate_quota, backlog_weights
+from ..frw.solver import FRWSolver
+from ..geometry import Structure, structure_from_dict
+from .cache import AssetCache, ResultCache
+from .canonical import CanonicalForm, canonical_hash, canonicalize, geometry_digest
+
+#: Priority classes, in dispatch-preference order.
+PRIORITY_CLASSES = ("interactive", "bulk")
+
+#: Largest accepted request body (bytes) — a service limit, not a physics one.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Per-class latency samples retained for the stats endpoint.
+LATENCY_WINDOW = 4096
+
+
+@dataclass
+class ServiceSettings:
+    """Configuration of one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8231
+    slots: int = 1
+    executor: str = "serial"
+    n_workers: int = 1
+    mp_start_method: str | None = None
+    result_cache_entries: int = 1024
+    asset_cache_entries: int = 64
+    max_indexes: int = 4
+    max_tables: int = 2
+    interactive_boost: float = 4.0
+    port_file: str | None = None
+
+    def validate(self) -> None:
+        if self.slots < 1:
+            raise ConfigError(f"slots must be >= 1, got {self.slots}")
+        if not (0 <= self.port <= 65535):
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.interactive_boost < 1.0:
+            raise ConfigError(
+                f"interactive_boost must be >= 1, got {self.interactive_boost}"
+            )
+        if self.result_cache_entries < 1 or self.asset_cache_entries < 1:
+            raise ConfigError("cache bounds must be >= 1")
+        # Engine fields reuse FRWConfig's own validation.
+        FRWConfig(
+            executor=self.executor,
+            n_workers=self.n_workers,
+            **(
+                {"mp_start_method": self.mp_start_method}
+                if self.mp_start_method is not None
+                else {}
+            ),
+        )
+
+
+@dataclass
+class _Job:
+    """One queued extraction request."""
+
+    future: Future
+    structure: Structure
+    form: CanonicalForm
+    gdigest: str
+    rhash: str
+    config: FRWConfig
+    masters: list[int]
+    names: list[str]
+    priority: str
+    t_submit: float
+
+
+def _row_payload(values, sigma2, hits, walks, total_steps) -> dict:
+    """Canonical-order cache entry for one solved row (arrays, not lists)."""
+    return {
+        "values": np.asarray(values, dtype=np.float64),
+        "sigma2": np.asarray(sigma2, dtype=np.float64),
+        "hits": np.asarray(hits, dtype=np.int64),
+        "walks": int(walks),
+        "total_steps": int(total_steps),
+    }
+
+
+class ExtractionService:
+    """Memoizing, priority-scheduled extraction engine (see module doc)."""
+
+    def __init__(self, settings: ServiceSettings | None = None):
+        self.settings = settings if settings is not None else ServiceSettings()
+        self.settings.validate()
+        self.results = ResultCache(self.settings.result_cache_entries)
+        self.assets = AssetCache(
+            self.settings.asset_cache_entries,
+            max_indexes=self.settings.max_indexes,
+            max_tables=self.settings.max_tables,
+        )
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque] = {
+            cls: deque() for cls in PRIORITY_CLASSES
+        }
+        self._running = {cls: 0 for cls in PRIORITY_CLASSES}
+        self.requests = {cls: 0 for cls in PRIORITY_CLASSES}
+        self.full_hits = 0
+        self.solves = 0
+        self._latencies = {
+            cls: deque(maxlen=LATENCY_WINDOW) for cls in PRIORITY_CLASSES
+        }
+        self._closing = False
+        self._executors: dict[int, PersistentExecutor] = {}
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"repro-service-slot-{slot}",
+                daemon=True,
+            )
+            for slot in range(self.settings.slots)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- request intake ------------------------------------------------
+
+    def submit(self, request: dict) -> Future:
+        """Queue one extraction request; returns a Future of the response.
+
+        Full cache hits resolve immediately (no queueing, no solver) —
+        that is the interactive fast path the benchmark's warm p50
+        measures.  Misses are enqueued under the request's priority class.
+        """
+        (
+            structure,
+            form,
+            gdigest,
+            rhash,
+            config,
+            masters,
+            names,
+            priority,
+        ) = self._parse(request)
+        future: Future = Future()
+        t0 = time.perf_counter()
+        with self._cond:
+            if self._closing:
+                raise ConfigError("service is shutting down")
+            self.requests[priority] += 1
+            cached = self._assemble_if_complete(form, rhash, masters)
+            if cached is not None:
+                self.full_hits += 1
+                self._latencies[priority].append(time.perf_counter() - t0)
+                future.set_result(
+                    self._response(
+                        form, rhash, cached, masters, names, cached=True
+                    )
+                )
+                return future
+            self._queues[priority].append(
+                _Job(
+                    future=future,
+                    structure=structure,
+                    form=form,
+                    gdigest=gdigest,
+                    rhash=rhash,
+                    config=config,
+                    masters=masters,
+                    names=names,
+                    priority=priority,
+                    t_submit=t0,
+                )
+            )
+            self._cond.notify_all()
+        return future
+
+    def _parse(self, request: dict):
+        """Validate and canonicalize one request payload."""
+        if not isinstance(request, dict):
+            raise ConfigError("request body must be a JSON object")
+        if "structure" not in request:
+            raise ConfigError("request is missing 'structure'")
+        structure = structure_from_dict(request["structure"])
+        raw_config = request.get("config", {})
+        if not isinstance(raw_config, dict):
+            raise ConfigError("'config' must be an object of FRWConfig fields")
+        unknown = sorted(
+            set(raw_config) - set(RESULT_FIELDS) - set(ENGINE_FIELDS)
+        )
+        if unknown:
+            raise ConfigError(f"unknown config field(s): {', '.join(unknown)}")
+        kwargs = {k: raw_config[k] for k in RESULT_FIELDS if k in raw_config}
+        config = FRWConfig(**kwargs).with_(**self._engine_overrides())
+        n = len(structure.conductors)
+        masters = request.get("masters")
+        if masters is None:
+            masters = list(range(n))
+        masters = [int(m) for m in masters]
+        if not masters or len(set(masters)) != len(masters):
+            raise ConfigError("masters must be a non-empty list of distinct indices")
+        for m in masters:
+            if not (0 <= m < n):
+                raise ConfigError(f"master index {m} out of range [0, {n})")
+        priority = request.get("priority", "interactive")
+        if priority not in PRIORITY_CLASSES:
+            raise ConfigError(
+                f"priority must be one of {PRIORITY_CLASSES}, got {priority!r}"
+            )
+        form = canonicalize(structure)
+        gdigest = geometry_digest(form)
+        rhash = canonical_hash(form, config)
+        names = [structure.conductors[m].name for m in range(n)]
+        return structure, form, gdigest, rhash, config, masters, names, priority
+
+    def _engine_overrides(self) -> dict:
+        """The server-chosen engine fields applied to every request config.
+
+        All of these are bit-invisible (golden-certified), so substituting
+        them preserves byte-identical rows while letting the daemon own its
+        real concurrency.  ``sanitize`` is forced off: the runtime RNG
+        sanitizer patches process-global state and concurrent slots would
+        race on it (det-lint covers the service statically instead).
+        """
+        overrides = {
+            "executor": self.settings.executor,
+            "n_workers": self.settings.n_workers,
+            "sanitize": False,
+        }
+        if self.settings.mp_start_method is not None:
+            overrides["mp_start_method"] = self.settings.mp_start_method
+        return overrides
+
+    # -- priority scheduling -------------------------------------------
+
+    def _quota(self, backlogs: tuple[int, ...]) -> np.ndarray:
+        """Slot quota per priority class for the current backlogs.
+
+        Reuses the cross-master largest-remainder allocator; on top of it,
+        a non-empty interactive queue is always granted at least one slot,
+        so bulk depth can never price interactive out entirely.
+        """
+        boost = np.array([self.settings.interactive_boost, 1.0])
+        weights = backlog_weights(np.array(backlogs, dtype=np.float64), boost)
+        min_share = 1 if self.settings.slots >= len(PRIORITY_CLASSES) else 0
+        quota = allocate_quota(weights, self.settings.slots, min_share=min_share)
+        if backlogs[0] > 0:
+            quota[0] = max(quota[0], 1)
+        return quota
+
+    def _pick_class(self) -> str | None:
+        """Which class the freed slot should serve next (caller holds lock)."""
+        backlogs = tuple(len(self._queues[cls]) for cls in PRIORITY_CLASSES)
+        live = [
+            cls for cls, depth in zip(PRIORITY_CLASSES, backlogs) if depth > 0
+        ]
+        if not live:
+            return None
+        if len(live) == 1:
+            return live[0]
+        quota = self._quota(backlogs)
+        deficits = [
+            int(quota[i]) - self._running[cls]
+            for i, cls in enumerate(PRIORITY_CLASSES)
+        ]
+        # max() keeps the first maximum, so ties resolve to interactive.
+        best = max(range(len(PRIORITY_CLASSES)), key=lambda i: deficits[i])
+        return PRIORITY_CLASSES[best]
+
+    # -- worker slots --------------------------------------------------
+
+    def _slot_executor(self, slot: int) -> PersistentExecutor | None:
+        """The slot-owned persistent pool (lazy; ``None`` for serial)."""
+        cfg = self.settings
+        if cfg.executor == "serial" or resolve_workers(cfg.n_workers) <= 1:
+            return None
+        executor = self._executors.get(slot)
+        if executor is None:
+            kwargs = {}
+            if cfg.mp_start_method is not None:
+                kwargs["mp_start_method"] = cfg.mp_start_method
+            executor = PersistentExecutor(cfg.executor, cfg.n_workers, **kwargs)
+            self._executors[slot] = executor
+        return executor
+
+    def _worker_loop(self, slot: int) -> None:
+        while True:
+            with self._cond:
+                cls = self._pick_class()
+                while cls is None:
+                    if self._closing:
+                        return
+                    self._cond.wait()
+                    cls = self._pick_class()
+                job = self._queues[cls].popleft()
+                self._running[cls] += 1
+            try:
+                response = self._solve(job, self._slot_executor(slot))
+                job.future.set_result(response)
+            except Exception as exc:
+                job.future.set_exception(exc)
+            finally:
+                with self._cond:
+                    self._running[cls] -= 1
+                    self._latencies[cls].append(
+                        time.perf_counter() - job.t_submit
+                    )
+                    self._cond.notify_all()
+
+    # -- solve + memoize -----------------------------------------------
+
+    def _assemble_if_complete(
+        self, form: CanonicalForm, rhash: str, masters: list[int]
+    ) -> dict | None:
+        """Row payloads for all masters iff every one is cached.
+
+        Membership is probed first (uncounted) so a partial hit does not
+        skew the hit-rate; only a complete set does counted gets.  Caller
+        holds the service lock.
+        """
+        keys = [(rhash, form.to_canonical[m]) for m in masters]
+        if not all(key in self.results for key in keys):
+            return None
+        rows = {}
+        for m, key in zip(masters, keys):
+            payload = self.results.get(key)
+            if payload is None:  # evicted between probe and get: treat as miss
+                return None
+            rows[m] = payload
+        return rows
+
+    def _solve(self, job: _Job, executor: PersistentExecutor | None) -> dict:
+        """Solve the missing canonical rows, memoize, assemble the response."""
+        form = job.form
+        rows: dict[int, dict] = {}
+        missing: list[int] = []
+        with self._cond:
+            for m in sorted(set(job.masters)):
+                payload = self.results.get((job.rhash, form.to_canonical[m]))
+                if payload is None:
+                    missing.append(form.to_canonical[m])
+                else:
+                    rows[m] = payload
+            if missing:
+                canonical_structure, shared = self.assets.assets_for(
+                    job.gdigest, form.structure
+                )
+        if missing:
+            missing.sort()
+            solver = FRWSolver(
+                canonical_structure,
+                job.config,
+                assets=shared,
+                executor=executor,
+            )
+            try:
+                result = solver.extract(missing)
+            finally:
+                solver.close()
+            solved = {
+                row.master: _row_payload(
+                    row.values, row.sigma2, row.hits, row.walks, row.total_steps
+                )
+                for row in result.rows
+            }
+            with self._cond:
+                self.solves += 1
+                for cm in sorted(solved):
+                    self.results.put((job.rhash, cm), solved[cm])
+            for m in job.masters:
+                if m not in rows:
+                    rows[m] = solved[form.to_canonical[m]]
+        return self._response(
+            form, job.rhash, rows, job.masters, job.names, cached=False
+        )
+
+    def _response(
+        self,
+        form: CanonicalForm,
+        rhash: str,
+        rows: dict[int, dict],
+        masters: list[int],
+        names: list[str],
+        cached: bool,
+    ) -> dict:
+        """JSON-safe response with rows relabeled to the request's order.
+
+        Cached payloads are in canonical conductor order;
+        ``form.map_row_values`` permutes the columns back to the request's
+        enumeration.  The permutation is exact integer reindexing and
+        ``float64.tolist()`` round-trips through JSON losslessly, so equal
+        cache entries render byte-equal bodies.
+        """
+        form_rows = []
+        for m in masters:
+            payload = rows[m]
+            form_rows.append(
+                {
+                    "master": m,
+                    "name": names[m],
+                    "values": form.map_row_values(payload["values"]).tolist(),
+                    "sigma2": form.map_row_values(payload["sigma2"]).tolist(),
+                    "hits": form.map_row_values(payload["hits"]).tolist(),
+                    "walks": payload["walks"],
+                    "total_steps": payload["total_steps"],
+                }
+            )
+        return {"canonical_hash": rhash, "cached": cached, "rows": form_rows}
+
+    # -- telemetry + lifecycle -----------------------------------------
+
+    def _percentiles(self, samples) -> dict:
+        if not samples:
+            return {"count": 0, "p50_ms": None, "p99_ms": None}
+        ordered = sorted(samples)
+        n = len(ordered)
+        return {
+            "count": n,
+            "p50_ms": round(ordered[(n - 1) // 2] * 1e3, 3),
+            "p99_ms": round(ordered[min(n - 1, (99 * n) // 100)] * 1e3, 3),
+        }
+
+    def stats(self) -> dict:
+        """Counters for /stats: caches, queues, per-class latency."""
+        with self._cond:
+            inner = {
+                "index_builds": 0,
+                "index_hits": 0,
+                "index_evictions": 0,
+                "table_builds": 0,
+                "table_hits": 0,
+                "table_evictions": 0,
+            }
+            for digest in sorted(self.assets._entries):
+                _structure, shared = self.assets._entries[digest]
+                shared_stats = shared.stats()
+                for key in sorted(inner):
+                    inner[key] += shared_stats[key]
+            return {
+                "version": __version__,
+                "slots": self.settings.slots,
+                "executor": self.settings.executor,
+                "n_workers": self.settings.n_workers,
+                "requests": dict(self.requests),
+                "full_hits": self.full_hits,
+                "solves": self.solves,
+                "queues": {
+                    cls: len(self._queues[cls]) for cls in PRIORITY_CLASSES
+                },
+                "result_cache": self.results.stats(),
+                "asset_cache": self.assets.stats(),
+                "asset_inner": inner,
+                "latency": {
+                    cls: self._percentiles(self._latencies[cls])
+                    for cls in PRIORITY_CLASSES
+                },
+            }
+
+    def close(self) -> None:
+        """Drain-free shutdown: stop workers, release executors (idempotent).
+
+        Queued-but-unstarted jobs fail with :class:`ConfigError`; in-flight
+        solves finish first (workers only exit between jobs).
+        """
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            pending = [
+                job for cls in PRIORITY_CLASSES for job in self._queues[cls]
+            ]
+            for cls in PRIORITY_CLASSES:
+                self._queues[cls].clear()
+            self._cond.notify_all()
+        for job in pending:
+            job.future.set_exception(ConfigError("service is shutting down"))
+        for thread in self._workers:
+            thread.join()
+        for slot in sorted(self._executors):
+            self._executors[slot].close()
+        self._executors.clear()
+        self.assets.clear()
+
+    def __enter__(self) -> "ExtractionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# asyncio HTTP front door (stdlib only)
+# ----------------------------------------------------------------------
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _http_response(status: int, body: bytes) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 413: "Payload Too Large", 500: "Internal Server Error"}.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: (method, path, body) or ``None`` on EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length > MAX_BODY_BYTES:
+        raise ValueError(f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+class ServiceServer:
+    """Bind + serve loop; owns the ExtractionService lifecycle."""
+
+    def __init__(self, settings: ServiceSettings):
+        self.settings = settings
+        self.service = ExtractionService(settings)
+        self.bound_port: int | None = None
+        self._stop: asyncio.Event | None = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, payload = await self._route(method, path, body)
+            writer.write(_http_response(status, _json_bytes(payload)))
+            await writer.drain()
+        except (ValueError, asyncio.IncompleteReadError) as exc:
+            writer.write(
+                _http_response(400, _json_bytes({"error": str(exc)}))
+            )
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if method == "GET" and path == "/health":
+            return 200, {"ok": True, "version": __version__}
+        if method == "GET" and path == "/stats":
+            return 200, self.service.stats()
+        if method == "POST" and path == "/shutdown":
+            assert self._stop is not None
+            self._stop.set()
+            return 200, {"ok": True, "stopping": True}
+        if method == "POST" and path == "/extract":
+            try:
+                request = json.loads(body) if body else {}
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+            try:
+                future = self.service.submit(request)
+            except (ConfigError, GeometryError, TypeError) as exc:
+                return 400, {"error": str(exc)}
+            try:
+                response = await asyncio.wrap_future(future)
+            except (ConfigError, GeometryError) as exc:
+                return 400, {"error": str(exc)}
+            except Exception as exc:
+                return 500, {"error": f"{type(exc).__name__}: {exc}"}
+            return 200, response
+        return 404, {"error": f"no route for {method} {path}"}
+
+    async def run(self, ready=None) -> None:
+        """Serve until POST /shutdown (or ``ready``'s caller cancels us)."""
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self.settings.host, self.settings.port
+        )
+        self.bound_port = int(server.sockets[0].getsockname()[1])
+        if self.settings.port_file:
+            with open(self.settings.port_file, "w") as fh:
+                fh.write(f"{self.bound_port}\n")
+        if ready is not None:
+            ready(self.bound_port)
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self.service.close()
+
+
+def run_server(settings: ServiceSettings, ready=None) -> None:
+    """Blocking entry point used by ``repro.cli serve`` (and tests).
+
+    ``ready(port)`` fires once the socket is bound — tests use it with
+    ``--port 0`` to learn the ephemeral port without polling.
+    """
+    asyncio.run(ServiceServer(settings).run(ready=ready))

@@ -1,0 +1,196 @@
+"""Seeded synthetic traffic for service load tests and benchmarks.
+
+Generates a deterministic stream of extraction requests: randomized
+rectilinear nets (parallel-wire buses with dyadic-lattice dimensions) at a
+controlled duplicate rate and interactive/bulk mix.  Duplicates are *not*
+verbatim repeats — each one is a translated copy of an earlier net with
+conductors and boxes re-enumerated in a new order and fresh names, so a
+cache hit can only happen through canonicalization, never through
+accidental byte equality of the payload.
+
+All randomness flows from one :func:`repro.rng.seeded_generator` stream;
+the request sequence is a pure function of the constructor arguments, so a
+benchmark run is replayable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from ..geometry import (
+    Box,
+    Conductor,
+    DielectricStack,
+    Structure,
+    structure_to_dict,
+)
+from ..rng import seeded_generator
+from ..structures import parallel_wires
+
+#: Layout grid: all generated dimensions are multiples of this, so the
+#: canonical translation (a float subtraction of dyadic coordinates) is
+#: exact and duplicates hash identically to their originals.
+LATTICE = 1.0 / 32.0
+
+
+def translate_structure(structure: Structure, offset) -> Structure:
+    """Shift a structure rigidly by ``offset`` (conductors, enclosure,
+    dielectric interfaces).  Physics is translation-invariant, so this is
+    the identity under :func:`repro.service.canonical.canonicalize`."""
+    dx, dy, dz = (float(v) for v in offset)
+
+    def shift(box: Box) -> Box:
+        return Box(
+            (box.lo[0] + dx, box.lo[1] + dy, box.lo[2] + dz),
+            (box.hi[0] + dx, box.hi[1] + dy, box.hi[2] + dz),
+        )
+
+    conductors = [
+        Conductor(cond.name, tuple(shift(b) for b in cond.boxes))
+        for cond in structure.conductors
+    ]
+    dielectric = DielectricStack(
+        interfaces=tuple(z + dz for z in structure.dielectric.interfaces),
+        eps=structure.dielectric.eps,
+    )
+    return Structure(
+        conductors,
+        dielectric=dielectric,
+        enclosure=shift(structure.enclosure),
+    )
+
+
+def permute_structure(structure: Structure, order, names=None) -> Structure:
+    """Re-enumerate conductors in ``order`` (reversing each box list) with
+    new ``names`` — a different encoding of the same physical net."""
+    order = [int(i) for i in order]
+    conductors = []
+    for rank, orig in enumerate(order):
+        cond = structure.conductors[orig]
+        name = names[rank] if names is not None else cond.name
+        conductors.append(Conductor(name, tuple(reversed(cond.boxes))))
+    return Structure(
+        conductors,
+        dielectric=structure.dielectric,
+        enclosure=structure.enclosure,
+    )
+
+
+class TrafficGenerator:
+    """Deterministic request stream for the extraction service.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private generator stream (the whole request sequence
+        is a pure function of it and the other arguments).
+    duplicate_rate:
+        Probability that a request is a disguised duplicate of an earlier
+        unique net — the expected steady-state cache hit rate.
+    interactive_fraction:
+        Probability a request is tagged ``interactive`` (else ``bulk``).
+    max_walks / batch_size / tolerance:
+        Result-affecting knobs of the generated configs, sized so a cold
+        solve is cheap enough for CI smoke runs.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        duplicate_rate: float = 0.5,
+        interactive_fraction: float = 0.75,
+        max_walks: int = 768,
+        batch_size: int = 256,
+        tolerance: float = 0.5,
+        n_seeds: int = 2,
+    ):
+        if not (0.0 <= duplicate_rate <= 1.0):
+            raise ValueError(f"duplicate_rate must be in [0, 1], got {duplicate_rate}")
+        if not (0.0 <= interactive_fraction <= 1.0):
+            raise ValueError(
+                f"interactive_fraction must be in [0, 1], got {interactive_fraction}"
+            )
+        self.duplicate_rate = float(duplicate_rate)
+        self.interactive_fraction = float(interactive_fraction)
+        self.max_walks = int(max_walks)
+        self.batch_size = int(batch_size)
+        self.tolerance = float(tolerance)
+        self.n_seeds = max(1, int(n_seeds))
+        self._rng = seeded_generator(seed)
+        self._uniques: list[tuple[Structure, dict]] = []
+
+    def _lattice(self, lo: int, hi: int) -> float:
+        """A random dimension on the layout grid, in ``[lo, hi] * LATTICE``."""
+        return float(self._rng.integers(lo, hi + 1)) * LATTICE
+
+    def _new_unique(self) -> tuple[Structure, dict]:
+        """A fresh randomized bus net plus its request config."""
+        rng = self._rng
+        structure = parallel_wires(
+            n_wires=int(rng.integers(2, 4)),
+            width=self._lattice(16, 48),
+            spacing=self._lattice(16, 48),
+            thickness=self._lattice(16, 48),
+            length=self._lattice(96, 192),
+            z0=self._lattice(32, 64),
+            margin=4.0,
+        )
+        config = {
+            "seed": int(rng.integers(0, self.n_seeds)),
+            "max_walks": self.max_walks,
+            "min_walks": min(self.max_walks, self.batch_size),
+            "batch_size": self.batch_size,
+            "tolerance": self.tolerance,
+            "n_threads": 2,
+        }
+        self._uniques.append((structure, config))
+        return structure, config
+
+    def _disguise(self, structure: Structure) -> Structure:
+        """Translate + permute + rename an earlier net: same canonical
+        form, different request bytes."""
+        rng = self._rng
+        offset = (
+            float(rng.integers(-64, 65)) * LATTICE,
+            float(rng.integers(-64, 65)) * LATTICE,
+            float(rng.integers(-16, 17)) * LATTICE,
+        )
+        n = len(structure.conductors)
+        order = [int(i) for i in rng.permutation(n)]
+        names = [f"net{int(rng.integers(0, 10_000))}_{i}" for i in range(n)]
+        return permute_structure(
+            translate_structure(structure, offset), order, names
+        )
+
+    def request(self) -> tuple[dict, dict]:
+        """One ``(payload, meta)`` pair.
+
+        ``payload`` is the JSON body for POST /extract; ``meta`` records
+        what the generator did (``duplicate``, ``unique_index``) so tests
+        and the benchmark can compare measured hit rates against intent.
+        """
+        rng = self._rng
+        duplicate = bool(self._uniques) and (
+            float(rng.random()) < self.duplicate_rate
+        )
+        if duplicate:
+            index = int(rng.integers(0, len(self._uniques)))
+            base, config = self._uniques[index]
+            structure = self._disguise(base)
+        else:
+            index = len(self._uniques)
+            structure, config = self._new_unique()
+        priority = (
+            "interactive"
+            if float(rng.random()) < self.interactive_fraction
+            else "bulk"
+        )
+        payload = {
+            "structure": structure_to_dict(structure),
+            "config": dict(config),
+            "priority": priority,
+        }
+        meta = {"duplicate": duplicate, "unique_index": index}
+        return payload, meta
+
+    def requests(self, count: int) -> list[tuple[dict, dict]]:
+        """The next ``count`` requests of the stream."""
+        return [self.request() for _ in range(int(count))]

@@ -84,3 +84,87 @@ def test_parser_experiment_choices():
     assert args.name == "table1"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "table9"])
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.port == 8231
+    assert args.slots == 1
+    assert args.executor == "serial"
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["serve", "--slots", "0"],
+        ["serve", "--workers", "0"],
+        ["serve", "--result-cache", "0"],
+        ["serve", "--asset-cache", "-3"],
+        ["serve", "--executor", "bogus"],
+        ["serve", "--slots", "two"],
+    ],
+)
+def test_serve_parser_rejects_invalid(argv):
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(argv)
+    assert exc.value.code == 2
+
+
+def test_serve_rejects_invalid_settings(capsys):
+    assert main(["serve", "--port", "70000"]) == 2
+    assert "port" in capsys.readouterr().err
+    assert main(["serve", "--interactive-boost", "0.5"]) == 2
+    assert "interactive_boost" in capsys.readouterr().err
+
+
+def test_serve_startup_shutdown_no_leaks(tmp_path):
+    """Boot the real server via the CLI, drive one request, shut down,
+    and verify nothing leaks: exit code 0, no published shared-memory
+    blocks, no surviving service threads."""
+    import threading
+    import time
+
+    from repro.frw import shm
+    from repro.geometry import structure_to_dict
+    from repro.service import ServiceClient
+    from repro.structures import parallel_wires
+
+    port_file = tmp_path / "port"
+    outcome = {}
+
+    def run():
+        outcome["code"] = main(
+            ["serve", "--port", "0", "--port-file", str(port_file)]
+        )
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.perf_counter() + 30
+    while not port_file.exists() and time.perf_counter() < deadline:
+        time.sleep(0.05)
+    assert port_file.exists(), "server never wrote its port file"
+    client = ServiceClient(port=int(port_file.read_text()))
+    assert client.health()["ok"] is True
+    structure = parallel_wires(
+        n_wires=2, width=0.5, spacing=0.5, thickness=0.5, length=4.0
+    )
+    response = client.extract(
+        structure,
+        {"seed": 1, "max_walks": 256, "min_walks": 128, "batch_size": 128,
+         "tolerance": 0.5, "n_threads": 2},
+    )
+    assert len(response["rows"]) == 2
+    client.shutdown()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    assert outcome["code"] == 0
+    assert shm.published_blocks() == []
+    leftovers = [
+        t.name for t in threading.enumerate()
+        if t.name.startswith("repro-service")
+    ]
+    assert leftovers == []
