@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint bench bench-service bench-micro examples experiments experiments-quick clean
+.PHONY: install test lint lint-baseline bench bench-service bench-micro examples experiments experiments-quick clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,9 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Determinism & reliability static analysis (see docs/DETERMINISM.md).
+# Determinism & cache-soundness static analysis, det-lint v2: per-file
+# rules + whole-program passes, gated by the committed lint-baseline.json
+# (see docs/STATIC_ANALYSIS.md).  Also emits the SARIF artifact CI uploads.
 lint:
-	PYTHONPATH=src $(PYTHON) -m repro.lint src tests benchmarks
+	PYTHONPATH=src $(PYTHON) -m repro.lint --sarif det-lint.sarif src tests benchmarks
+
+# Deliberately regenerate the committed baseline of accepted findings.
+# Run this only when a finding has been reviewed and consciously accepted
+# (or paid down) — never to make CI green.
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --write-baseline src tests benchmarks
 
 # Append a fresh entry to both benchmark trajectories (BENCH_engine.json,
 # BENCH_extract.json): engine stage breakdown (seconds + dispatch counts,

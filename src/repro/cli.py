@@ -11,6 +11,9 @@ Subcommands
     Show the case registry and version.
 ``serve``
     Start the long-lived memoized extraction service (HTTP/JSON).
+``lint``
+    Run det-lint v2 (determinism & cache-soundness static analysis);
+    forwards to ``python -m repro.lint``.
 """
 
 from __future__ import annotations
@@ -125,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_parser(sub)
     sub.add_parser("info", help="list the built-in test cases")
     _add_serve_parser(sub)
+    lint = sub.add_parser(
+        "lint",
+        help="run det-lint v2 static analysis (same as python -m repro.lint)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the det-lint CLI (see "
+        "python -m repro.lint --help)",
+    )
     return parser
 
 
@@ -210,6 +223,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     rows = [
         [n, s.paper_nm, s.paper_n, s.paper_nc, s.tolerance, s.description]
@@ -227,12 +246,21 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER refuses leading option flags ("lint --sarif ..."),
+    # so forward everything after the subcommand token ourselves.
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "extract": cmd_extract,
         "experiment": cmd_experiment,
         "info": cmd_info,
         "serve": cmd_serve,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -69,6 +69,20 @@ RESULT_FIELDS = (
 #: field must appear in exactly one of the two tuples (enforced by
 #: ``tests/test_canonical.py``); a new field must be classified before the
 #: suite passes, which keeps the cache key honest by construction.
+#:
+#: This tuple is also the *justified allowlist* of the det-lint DET009
+#: cache-key-completeness pass (docs/STATIC_ANALYSIS.md): a field read on
+#: the solver/engine/estimator result path that appears in neither tuple
+#: fails CI.  Justifications, by group — backend placement (``executor``,
+#: ``n_workers``, ``chunk_size``, ``mp_start_method``, ``shared_context``:
+#: UID-ordered reassembly makes worker layout invisible), scheduling
+#: (``pipeline``, ``pipeline_lookahead``, ``rng_prefetch_depth``,
+#: ``interleave_masters``, ``allocation``, ``allocation_hysteresis``,
+#: ``max_inflight_batches``, ``register_wave``: walk draws are a pure
+#: function of (seed, uid, step), so issue order cannot reach a bit),
+#: query fast paths (``far_field``, ``sort_queries``,
+#: ``bounds_resolution``: conservative bounds return exactly the
+#: brute-force answer), and guards (``sanitize``: raises or no-ops).
 ENGINE_FIELDS = (
     "executor",
     "n_workers",

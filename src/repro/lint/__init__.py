@@ -1,4 +1,4 @@
-"""det-lint — determinism & reliability static analysis for this repo.
+"""det-lint — determinism & cache-soundness static analysis for this repo.
 
 The entire value of the reproducible scheme (Alg. 2) is that results are
 bit-identical at any degree of parallelism.  That guarantee is an *invariant
@@ -9,7 +9,7 @@ looking like statistical noise.  ``repro.lint`` encodes those invariants as
 machine-checked rules:
 
 ========  ==============================================================
-rule      invariant
+rule      invariant (per-file rules)
 ========  ==============================================================
 DET001    no global-RNG use outside ``repro.rng`` / ``repro.experiments``
 DET002    no wall-clock- or entropy-derived seeds (``time.time``,
@@ -22,15 +22,47 @@ DET006    no mutation of closed-over/shared state inside callables
           submitted to executors
 DET007    every ``FRWConfig`` field is validated in ``config.py`` and
           documented in ``docs/PERFORMANCE.md`` or ``README.md``
+DET008    no raw ``SharedMemory`` use outside ``repro.frw.shm``
 ========  ==============================================================
 
-Violations are suppressed per line with a ``det: allow(DET001) reason``
-comment; a suppression without a reason is itself an error (DET000).  Run
-with ``python -m repro.lint [paths]`` (see :mod:`repro.lint.cli`); the
-paired *runtime* guard is :func:`repro.lint.sanitizer.forbid_global_rng`,
-wired into ``FRWSolver.extract`` via ``FRWConfig.sanitize``.
+On top of the per-file rules, det-lint v2 builds a project-wide
+module/import/call graph (:mod:`repro.lint.graph`) and runs four
+**whole-program passes** (:mod:`repro.lint.passes`) checking the
+contracts the memoizing service rests on:
+
+========  ==============================================================
+pass      contract (whole-program passes)
+========  ==============================================================
+DET009    every ``FRWConfig`` field read on the result path is in the
+          canonical cache key (``RESULT_FIELDS``) or the declared
+          bit-invisible allowlist (``ENGINE_FIELDS``); hashed-but-unread
+          fields are staleness
+DET010    ``SharedMemory`` lifecycle typestate: no leaks, double-unlinks,
+          or use-after-close along any path
+DET011    Philox counter arithmetic and prefetch-ring/stream cursors stay
+          inside their sanctioned helper modules
+DET012    no writes to a context/manifest after executor registration
+========  ==============================================================
+
+Violations are suppressed with a ``det: allow(DET001) reason`` comment —
+matched by rule id + enclosing function scope, so line drift cannot
+detach a suppression; a suppression without a reason is itself an error
+(DET000).  Findings can also be accepted in a committed baseline
+(:mod:`repro.lint.baseline`, ``lint-baseline.json``) that demotes them to
+non-gating, and every run can emit SARIF 2.1.0
+(:mod:`repro.lint.sarif`).  Run with ``python -m repro.lint [paths]`` or
+``frw-rr lint`` (see :mod:`repro.lint.cli`); the full design is in
+``docs/STATIC_ANALYSIS.md``.  The paired *runtime* guard is
+:func:`repro.lint.sanitizer.forbid_global_rng`, wired into
+``FRWSolver.extract`` via ``FRWConfig.sanitize``.
 """
 
+from .baseline import (
+    apply_baseline,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
 from .core import (
     Finding,
     LintReport,
@@ -41,19 +73,33 @@ from .core import (
     lint_paths,
     module_name_for,
 )
+from .graph import ProjectGraph, build_graph
+from .passes import ALL_PASSES, Pass
+from .project import lint_project
 from .rules import ALL_RULES, Rule
 from .sanitizer import forbid_global_rng
+from .sarif import to_sarif, write_sarif
 
 __all__ = [
+    "ALL_PASSES",
     "ALL_RULES",
     "Finding",
     "LintReport",
+    "Pass",
+    "ProjectGraph",
     "Rule",
     "SourceFile",
     "Suppression",
+    "apply_baseline",
+    "build_graph",
+    "fingerprint_findings",
     "forbid_global_rng",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "load_baseline",
     "module_name_for",
+    "to_sarif",
+    "write_sarif",
 ]

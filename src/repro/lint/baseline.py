@@ -1,0 +1,145 @@
+"""Finding fingerprints and the committed det-lint baseline.
+
+A baseline lets the whole-program passes land without blocking the world:
+pre-existing findings are recorded once (``make lint-baseline``) and stop
+gating, while any *new* finding still fails CI.  Two design points make
+this safe rather than a debt rug:
+
+* **Fingerprints are line-free.**  A finding is identified by
+  ``rule | path | enclosing scope | normalized message`` (line numbers in
+  the message are masked) plus an occurrence ordinal, so routine edits
+  that shift code up or down neither break the match (which would
+  re-gate old debt spuriously) nor — worse — let a *new* finding
+  impersonate a baselined one.  Two identical findings in the same scope
+  get ordinals ``0, 1, ...`` in source order.
+* **Stale entries are reported.**  A baseline entry that matches no
+  current finding means the debt was paid; the runner lists it so the
+  baseline can be re-generated deliberately instead of rotting.
+
+The file format is versioned JSON with one entry per finding; entries
+carry the human-readable context (rule, path, scope, message) purely for
+reviewability of the committed file — matching uses only the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .core import Finding, LintReport
+
+#: Bump when the fingerprint recipe changes (stale baselines must not
+#: silently match under a different recipe).
+BASELINE_VERSION = 1
+
+#: SARIF ``partialFingerprints`` key for the same recipe.
+FINGERPRINT_KEY = "detLint/v1"
+
+_NUM_RE = re.compile(r"\b\d+\b")
+
+
+def _normalized_message(message: str) -> str:
+    """Message with volatile numerics (line refs, counts) masked."""
+    return _NUM_RE.sub("#", message)
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> list[str]:
+    """Stable fingerprint per finding, aligned with the input order.
+
+    Findings that collide on (rule, path, scope, normalized message) are
+    disambiguated by an ordinal assigned in ``(line, col)`` order, so the
+    n-th identical finding in a scope keeps its fingerprint as long as
+    its relative position among the identical ones is unchanged.
+    """
+    findings = list(findings)
+    order = sorted(
+        range(len(findings)),
+        key=lambda i: (findings[i].path, findings[i].line, findings[i].col),
+    )
+    seen: dict[str, int] = {}
+    out: list[str] = [""] * len(findings)
+    for i in order:
+        f = findings[i]
+        base = "|".join(
+            (f.rule, f.path, f.scope, _normalized_message(f.message))
+        )
+        ordinal = seen.get(base, 0)
+        seen[base] = ordinal + 1
+        digest = hashlib.sha256(
+            f"{base}|{ordinal}".encode()
+        ).hexdigest()[:16]
+        out[i] = digest
+    return out
+
+
+def baseline_payload(report: LintReport) -> dict:
+    """The JSON payload recording the report's gating findings."""
+    findings = report.findings
+    prints = fingerprint_findings(findings)
+    entries = []
+    for f, fp in zip(findings, prints):
+        if f.suppressed:
+            continue
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": f.rule,
+                "path": f.path,
+                "scope": f.scope,
+                "message": f.message,
+            }
+        )
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["fingerprint"]))
+    return {
+        "version": BASELINE_VERSION,
+        "tool": "det-lint",
+        "entries": entries,
+    }
+
+
+def write_baseline(path: Path | str, report: LintReport) -> int:
+    """Write the report's unsuppressed findings as the new baseline."""
+    payload = baseline_payload(report)
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+    return len(payload["entries"])
+
+
+def load_baseline(path: Path | str) -> dict[str, dict]:
+    """fingerprint -> entry map of a committed baseline file."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; this analyzer "
+            f"writes version {BASELINE_VERSION} — regenerate it with "
+            "'make lint-baseline'"
+        )
+    return {e["fingerprint"]: e for e in payload.get("entries", [])}
+
+
+def apply_baseline(
+    report: LintReport, baseline: dict[str, dict]
+) -> LintReport:
+    """Demote baselined findings in place and record stale entries.
+
+    A finding whose fingerprint appears in the baseline is marked
+    ``baselined`` (reported, not gating).  Suppressed findings never
+    consume a baseline entry.  Entries matching no finding are listed in
+    ``report.stale_baseline``.
+    """
+    from dataclasses import replace
+
+    prints = fingerprint_findings(report.findings)
+    matched: set[str] = set()
+    updated: list[Finding] = []
+    for f, fp in zip(report.findings, prints):
+        if not f.suppressed and fp in baseline:
+            matched.add(fp)
+            f = replace(f, baselined=True)
+        updated.append(f)
+    report.findings[:] = updated
+    report.stale_baseline = sorted(set(baseline) - matched)
+    return report

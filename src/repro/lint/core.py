@@ -3,16 +3,22 @@
 A *rule* is an object with an ``id``, a ``title``, and a
 ``check(SourceFile) -> list[Finding]`` method (see :mod:`repro.lint.rules`).
 The engine parses each file once, hands the shared :class:`SourceFile` to
-every rule, and then applies the per-line suppression comments::
+every rule, and then applies the suppression comments::
 
     stats = np.random.default_rng(0)  # det: allow(DET001) seeded, sim only
 
     # det: allow(DET005) fixed sequential order, simulated clock
     elapsed += float(durations.sum())
 
-A suppression on its own line covers the next code line; one trailing a
-statement covers that statement's line.  Every suppression must carry a
-justification after the closing parenthesis — a bare ``# det: allow(...)``
+Suppressions are matched by **rule id + enclosing function scope**: a
+suppression written anywhere inside a function covers that rule's findings
+in the same function, so routine edits that shift line numbers cannot
+silently detach a suppression from the code it vouches for.  At module or
+class level (no enclosing function) matching falls back to the exact
+target line — a suppression on its own line covers the next code line, one
+trailing a statement covers that statement's line — so a file-level
+comment never blankets a whole module.  Every suppression must carry a
+justification after the closing parenthesis; a bare ``# det: allow(...)``
 is reported as DET000, so the repo cannot accumulate unexplained opt-outs.
 """
 
@@ -44,6 +50,10 @@ class Finding:
     message: str
     suppressed: bool = False
     justification: str = ""
+    #: Enclosing function scope (``Class.method``), "" at module level.
+    scope: str = ""
+    #: Present in the committed baseline: reported but not gating.
+    baselined: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -54,6 +64,8 @@ class Finding:
             "message": self.message,
             "suppressed": self.suppressed,
             "justification": self.justification,
+            "scope": self.scope,
+            "baselined": self.baselined,
         }
 
 
@@ -67,10 +79,17 @@ class Suppression:
     #: Line the suppression applies to (itself, or the next code line when
     #: the comment stands alone).
     target_line: int
+    #: Enclosing function scope of the target line ("" at module level).
+    scope: str = ""
     used: bool = False
 
     def covers(self, finding: Finding) -> bool:
-        return finding.line == self.target_line and finding.rule in self.rules
+        if finding.rule not in self.rules:
+            return False
+        if self.scope:
+            # Scope-matched: survives line drift within the function.
+            return finding.scope == self.scope
+        return finding.line == self.target_line
 
 
 def module_name_for(path: Path, root: Path | None = None) -> str:
@@ -108,6 +127,9 @@ class SourceFile:
     #: root from here; ``path`` is the display/report path).
     abspath: str = ""
     suppressions: list[Suppression] = field(default_factory=list)
+    #: Sorted ``(start, end, qualname)`` spans of every function, built
+    #: once per file for scope lookups.
+    _scopes: list[tuple[int, int, str]] | None = None
 
     @classmethod
     def parse(cls, path: Path, root: Path | None = None) -> "SourceFile":
@@ -128,8 +150,50 @@ class SourceFile:
             tree=tree,
             abspath=str(path.resolve()),
         )
-        src.suppressions = list(_scan_suppressions(src.lines))
+        src.suppressions = [
+            replace(sup, scope=src.scope_at(sup.target_line))
+            for sup in _scan_suppressions(src.lines)
+        ]
         return src
+
+    def scope_at(self, line: int) -> str:
+        """Qualname of the innermost function containing ``line`` ("" if
+        the line sits at module or class level)."""
+        if self._scopes is None:
+            spans: list[tuple[int, int, str]] = []
+
+            def visit(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        qual = f"{prefix}.{child.name}" if prefix else child.name
+                        start = min(
+                            [child.lineno]
+                            + [d.lineno for d in child.decorator_list]
+                        )
+                        spans.append(
+                            (start, child.end_lineno or child.lineno, qual)
+                        )
+                        visit(child, qual)
+                    elif isinstance(child, ast.ClassDef):
+                        qual = (
+                            f"{prefix}.{child.name}" if prefix else child.name
+                        )
+                        visit(child, qual)
+                    else:
+                        visit(child, prefix)
+
+            visit(self.tree, "")
+            self._scopes = sorted(spans)
+        best = ""
+        best_span = None
+        for start, end, qual in self._scopes:
+            if start <= line <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = qual, span
+        return best
 
 
 def _scan_suppressions(lines: list[str]) -> Iterator[Suppression]:
@@ -160,27 +224,49 @@ class LintReport:
 
     findings: list[Finding] = field(default_factory=list)
     files: int = 0
+    #: Wall seconds per rule/pass id (plus ``"graph"`` for the build).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Baseline entries that matched no current finding (expired).
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def errors(self) -> list[Finding]:
         """Findings that count against the exit code."""
-        return [f for f in self.findings if not f.suppressed]
+        return [
+            f for f in self.findings if not f.suppressed and not f.baselined
+        ]
 
     @property
     def suppressed(self) -> list[Finding]:
         return [f for f in self.findings if f.suppressed]
 
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.baselined and not f.suppressed]
+
     def counts(self) -> dict:
         """Per-rule hit counts (the lint-debt artifact payload)."""
         out: dict[str, dict[str, int]] = {}
         for f in self.findings:
-            entry = out.setdefault(f.rule, {"errors": 0, "suppressed": 0})
-            entry["suppressed" if f.suppressed else "errors"] += 1
+            entry = out.setdefault(
+                f.rule, {"errors": 0, "suppressed": 0, "baselined": 0}
+            )
+            if f.suppressed:
+                entry["suppressed"] += 1
+            elif f.baselined:
+                entry["baselined"] += 1
+            else:
+                entry["errors"] += 1
         return {
             "files": self.files,
             "errors": len(self.errors),
             "suppressed_total": len(self.suppressed),
+            "baselined_total": len(self.baselined),
+            "stale_baseline": len(self.stale_baseline),
             "rules": dict(sorted(out.items())),
+            "timings_ms": {
+                k: round(v * 1e3, 3) for k, v in sorted(self.timings.items())
+            },
         }
 
 
@@ -202,57 +288,62 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             yield candidate
 
 
-def lint_file(
-    path: Path | str, rules=None, root: Path | None = None
-) -> list[Finding]:
-    """Run all (or the given) rules over one file.
+def parse_error_finding(path: Path | str, exc: SyntaxError) -> Finding:
+    """The DET000 finding for a file that does not parse."""
+    return Finding(
+        rule=META_RULE,
+        path=str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )
 
-    Returns *every* finding, with suppressed ones marked — callers decide
-    whether suppressed findings are shown.  Engine-level problems (parse
-    errors, unjustified or unknown-rule suppressions) are reported as
-    :data:`META_RULE` findings, which cannot themselves be suppressed.
-    """
-    from .rules import ALL_RULES
 
-    path = Path(path)
-    rules = ALL_RULES if rules is None else rules
-    try:
-        src = SourceFile.parse(path, root)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule=META_RULE,
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-
+def run_rules(src: SourceFile, rules) -> list[Finding]:
+    """Run per-file rules over one parsed source (no suppression logic)."""
     findings: list[Finding] = []
     for rule in rules:
         findings.extend(rule.check(src))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
 
+
+def apply_suppressions(
+    src: SourceFile, findings: Iterable[Finding]
+) -> list[Finding]:
+    """Attach scopes and resolve ``det: allow`` comments over findings.
+
+    :data:`META_RULE` findings cannot be suppressed.
+    """
     resolved: list[Finding] = []
     for f in findings:
+        if not f.scope:
+            f = replace(f, scope=src.scope_at(f.line))
+        if f.rule == META_RULE:
+            resolved.append(f)
+            continue
         for sup in src.suppressions:
             if sup.covers(f):
                 sup.used = True
                 resolved.append(
-                    replace(
-                        f, suppressed=True, justification=sup.justification
-                    )
+                    replace(f, suppressed=True, justification=sup.justification)
                 )
                 break
         else:
             resolved.append(f)
+    return resolved
 
-    active_ids = {r.id for r in rules}
+
+def suppression_meta_findings(
+    src: SourceFile, active_ids: Iterable[str]
+) -> list[Finding]:
+    """DET000 findings for malformed suppressions in one file."""
+    active = set(active_ids)
+    out: list[Finding] = []
     for sup in src.suppressions:
         unknown = [r for r in sup.rules if not _RULE_ID_RE.match(r)]
         if unknown:
-            resolved.append(
+            out.append(
                 Finding(
                     rule=META_RULE,
                     path=src.path,
@@ -264,8 +355,8 @@ def lint_file(
                     ),
                 )
             )
-        if not sup.justification and set(sup.rules) & active_ids:
-            resolved.append(
+        if not sup.justification and set(sup.rules) & active:
+            out.append(
                 Finding(
                     rule=META_RULE,
                     path=src.path,
@@ -279,6 +370,32 @@ def lint_file(
                     ),
                 )
             )
+    return out
+
+
+def lint_file(
+    path: Path | str, rules=None, root: Path | None = None
+) -> list[Finding]:
+    """Run all (or the given) per-file rules over one file.
+
+    Returns *every* finding, with suppressed ones marked — callers decide
+    whether suppressed findings are shown.  Engine-level problems (parse
+    errors, unjustified or unknown-rule suppressions) are reported as
+    :data:`META_RULE` findings, which cannot themselves be suppressed.
+    """
+    from .rules import ALL_RULES
+
+    path = Path(path)
+    rules = ALL_RULES if rules is None else rules
+    try:
+        src = SourceFile.parse(path, root)
+    except SyntaxError as exc:
+        return [parse_error_finding(path, exc)]
+
+    resolved = apply_suppressions(src, run_rules(src, rules))
+    resolved.extend(
+        suppression_meta_findings(src, (r.id for r in rules))
+    )
     resolved.sort(key=lambda f: (f.line, f.col, f.rule))
     return resolved
 
@@ -286,7 +403,12 @@ def lint_file(
 def lint_paths(
     paths: Iterable[Path | str], rules=None, root: Path | None = None
 ) -> LintReport:
-    """Run the pass over files and directories."""
+    """Run the per-file pass over files and directories.
+
+    Whole-program passes (:mod:`repro.lint.passes`) need the project
+    graph; use :func:`repro.lint.project.lint_project` for the full
+    det-lint v2 analysis.
+    """
     report = LintReport()
     for path in iter_python_files(paths):
         report.files += 1

@@ -71,3 +71,26 @@ def test_every_field_boundary_values_accepted():
     FRWConfig(table_resolution=2, offset_fraction=0.9, h_cap_fraction=1.0)
     FRWConfig(max_steps=1, check_every=1, scheduler_jitter=1.0)
     FRWConfig(sanitize=True)
+
+
+def test_config_fields_partition_into_hash_and_allowlist():
+    """Drift guard: every FRWConfig dataclass field is either consumed by
+    the canonical cache key (``result_key()`` / ``RESULT_FIELDS``) or
+    declared bit-invisible in the ``ENGINE_FIELDS`` allowlist — adding a
+    field without classifying it fails here even without running the
+    det-lint DET009 pass."""
+    import dataclasses
+
+    from repro.config import ENGINE_FIELDS, RESULT_FIELDS
+
+    declared = {f.name for f in dataclasses.fields(FRWConfig)}
+    assert set(RESULT_FIELDS) | set(ENGINE_FIELDS) == declared
+    assert not set(RESULT_FIELDS) & set(ENGINE_FIELDS)
+    # The hash input really is RESULT_FIELDS, position for position: the
+    # key tuple must track the declaration order and nothing else.
+    cfg = FRWConfig()
+    key = cfg.result_key()
+    assert len(key) == len(RESULT_FIELDS)
+    assert list(key) == [
+        (name, getattr(cfg, name)) for name in RESULT_FIELDS
+    ]

@@ -54,6 +54,19 @@ def test_rule_registry_complete():
     assert all(r.title for r in ALL_RULES)
 
 
+def test_pass_registry_complete():
+    from repro.lint.passes import ALL_PASSES, PASSES_BY_ID
+
+    assert [p.id for p in ALL_PASSES] == [
+        f"DET{i:03d}" for i in range(9, 13)
+    ]
+    assert all(p.title and p.doc for p in ALL_PASSES)
+    assert set(PASSES_BY_ID) == {p.id for p in ALL_PASSES}
+    # Rule and pass id spaces must not collide (shared suppression and
+    # SARIF namespaces).
+    assert not {r.id for r in ALL_RULES} & set(PASSES_BY_ID)
+
+
 def test_parse_error_is_meta_finding(tmp_path):
     path = write(tmp_path, "src/repro/bad.py", "def broken(:\n")
     findings = lint_file(path, root=tmp_path)
@@ -91,6 +104,70 @@ def test_standalone_suppression_covers_next_code_line(tmp_path):
     findings = lint_file(path, root=tmp_path)
     assert error_rules(findings) == []
     assert any(f.suppressed and f.rule == "DET002" for f in findings)
+
+
+def test_suppression_survives_line_drift_within_function(tmp_path):
+    """A suppression inside a function is matched by rule id + enclosing
+    scope, so inserting lines above it cannot detach it."""
+    body = (
+        "import time\n"
+        "class Clock:\n"
+        "    def stamp(self):\n"
+        f"        t = time.time()  {ALLOW}(DET002) wall stamp wanted here\n"
+        "        return t\n"
+    )
+    path = write(tmp_path, "src/repro/x.py", body)
+    before = lint_file(path, root=tmp_path)
+    assert error_rules(before) == []
+    # Drift: new code above shifts every line; the comment moves with its
+    # function but no longer sits on the same absolute line.
+    drifted = (
+        "import time\n"
+        "PAD_A = 1\nPAD_B = 2\nPAD_C = 3\n\n\n"
+        "class Clock:\n"
+        "    def stamp(self):\n"
+        "        label = 'ts'\n"
+        f"        t = time.time()  {ALLOW}(DET002) wall stamp wanted here\n"
+        "        return (label, t)\n"
+    )
+    path2 = write(tmp_path, "src/repro/y.py", drifted)
+    after = lint_file(path2, root=tmp_path)
+    assert error_rules(after) == []
+    assert any(f.suppressed and f.rule == "DET002" for f in after)
+
+
+def test_scope_suppression_covers_whole_function_only(tmp_path):
+    """Scope matching covers same-rule findings inside the function, but
+    never leaks to other functions in the file."""
+    body = (
+        "import time\n"
+        "def a():\n"
+        f"    {ALLOW}(DET002) timestamping is a()'s documented job\n"
+        "    return time.time()\n"
+        "def b():\n"
+        "    return time.time()\n"
+    )
+    path = write(tmp_path, "src/repro/x.py", body)
+    findings = lint_file(path, root=tmp_path)
+    assert error_rules(findings) == ["DET002"]
+    flagged = [f for f in findings if not f.suppressed]
+    assert flagged[0].scope == "b"
+
+
+def test_module_level_suppression_stays_line_matched(tmp_path):
+    """At module level there is no scope; matching falls back to the exact
+    line, so a top-of-file comment cannot blanket the module."""
+    body = (
+        "import time\n"
+        f"{ALLOW}(DET002) module load stamp is intentional\n"
+        "T0 = time.time()\n"
+        "T1 = time.time()\n"
+    )
+    path = write(tmp_path, "src/repro/x.py", body)
+    findings = lint_file(path, root=tmp_path)
+    assert error_rules(findings) == ["DET002"]
+    assert [f.line for f in findings if f.suppressed] == [3]
+    assert [f.line for f in findings if not f.suppressed] == [4]
 
 
 def test_iter_python_files_skips_caches(tmp_path):
@@ -636,8 +713,14 @@ def test_cli_list_rules(capsys):
 # Repo-clean self-check — the enforced invariant this PR establishes.
 # ----------------------------------------------------------------------
 def test_repo_is_lint_clean():
-    """`python -m repro.lint src tests` must exit 0 on this repo."""
-    report = lint_paths(
+    """The full v2 analysis (rules + whole-program passes) must exit 0 on
+    this repo — and without leaning on the committed baseline, which is
+    asserted empty so accepted debt cannot accumulate silently."""
+    import json
+
+    from repro.lint.project import lint_project
+
+    report = lint_project(
         [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
     )
     assert report.files > 0
@@ -645,6 +728,11 @@ def test_repo_is_lint_clean():
         f"{f.path}:{f.line}: {f.rule} {f.message}" for f in report.errors
     ]
     assert problems == []
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert baseline["entries"] == [], (
+        "committed baseline must stay empty: fix or justified-suppress "
+        "findings instead of baselining them"
+    )
 
 
 def test_repo_suppressions_are_justified():
